@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ablations of the machine-model design choices DESIGN.md calls out:
+ *  - metarouter penalty: the paper's 64p experiments found metarouters
+ *    *helped* FFT on large systems by spreading contention; we ablate
+ *    the metarouter latency/occupancy on the 128p machine.
+ *  - invalidation fan-out: cost of full-bit-vector invalidations as
+ *    sharer counts grow.
+ *  - Hub occupancy: the shared-Hub contention knob behind Section 7.2.
+ */
+
+#include "bench/common.hh"
+#include "sim/machine.hh"
+
+using namespace ccnuma;
+using namespace ccnuma::sim;
+using bench::measureApp;
+
+namespace {
+
+void
+metaRouterAblation()
+{
+    core::printHeader("Ablation: metarouter penalty (FFT 2^20, 128p)");
+    bench::SeqCache cache;
+    for (const Cycles extra : {0u, 24u, 96u}) {
+        MachineConfig cfg;
+        cfg.metaRouterCycles = extra;
+        cfg.metaRouterOccupancy = extra == 0 ? 0 : 5;
+        const auto m = measureApp("fft", 1u << 20, 128, cache, cfg,
+                                  "fft");
+        std::printf("  metaRouterCycles=%-3llu speedup %6.1f\n",
+                    static_cast<unsigned long long>(extra),
+                    m.speedup());
+        std::fflush(stdout);
+    }
+}
+
+void
+invalFanoutAblation()
+{
+    core::printHeader(
+        "Ablation: invalidation fan-out (1 writer vs N readers)");
+    for (const int readers : {1, 7, 31, 127}) {
+        MachineConfig cfg;
+        cfg.numProcs = 128;
+        Machine m(cfg);
+        const Addr a = m.alloc(4096);
+        m.place(a, 4096, 0);
+        const BarrierId bar = m.barrierCreate();
+        RunResult r = m.run([=](Cpu& cpu) -> Task {
+            if (cpu.id() > 0 && cpu.id() <= readers)
+                cpu.read(a);
+            co_await cpu.barrier(bar);
+            if (cpu.id() == 0)
+                cpu.write(a); // invalidates `readers` sharers
+            co_return;
+        });
+        std::printf("  %3d sharers: writer stall %5llu cycles, "
+                    "invals %llu\n",
+                    readers,
+                    static_cast<unsigned long long>(
+                        r.procs[0].t.memStall),
+                    static_cast<unsigned long long>(
+                        r.totals().invalsSent));
+        std::fflush(stdout);
+    }
+}
+
+void
+hubOccupancyAblation()
+{
+    core::printHeader(
+        "Ablation: Hub occupancy (Sample sort 16M keys, 64p)");
+    bench::SeqCache cache;
+    for (const Cycles occ : {0u, 10u, 30u}) {
+        MachineConfig cfg;
+        cfg.hubOccupancy = occ;
+        const auto m = measureApp("samplesort", 1u << 24, 64, cache,
+                                  cfg, "samplesort");
+        std::printf("  hubOccupancy=%-2llu speedup %6.1f\n",
+                    static_cast<unsigned long long>(occ), m.speedup());
+        std::fflush(stdout);
+    }
+}
+
+} // namespace
+
+namespace {
+
+void
+implicitTransposeAblation()
+{
+    core::printHeader(
+        "Section 5.1: FFT implicit transpose (tried; paper: no help)");
+    bench::SeqCache cache;
+    for (const char* v : {"fft", "fft-implicit"}) {
+        const auto m = measureApp(v, 1u << 20, 128, cache, {}, "fft");
+        std::printf("  %-14s speedup %6.1f\n", v, m.speedup());
+        std::fflush(stdout);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    implicitTransposeAblation();
+    metaRouterAblation();
+    invalFanoutAblation();
+    hubOccupancyAblation();
+    return 0;
+}

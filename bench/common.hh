@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries that regenerate the paper's
+ * tables and figures. Each bench prints the paper-reported series next
+ * to the simulator's measurements; absolute values are not expected to
+ * match the 1999 hardware, but the shapes should.
+ */
+
+#ifndef CCNUMA_BENCH_COMMON_HH
+#define CCNUMA_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hh"
+#include "core/report.hh"
+#include "core/study.hh"
+
+namespace ccnuma::bench {
+
+/// Sequential-time cache shared within one bench binary.
+using SeqCache = std::map<std::string, sim::Cycles>;
+
+/// Measure app `name` at `size` on `procs` processors with an optional
+/// shared sequential baseline key (variants of one application share
+/// the original's sequential time, as in the paper's methodology).
+inline core::Measurement
+measureApp(const std::string& name, std::uint64_t size, int procs,
+           SeqCache& cache, sim::MachineConfig cfg = {},
+           const std::string& seq_key_override = "")
+{
+    cfg.numProcs = procs;
+    const std::string key =
+        seq_key_override.empty()
+            ? name + ":" + std::to_string(size)
+            : seq_key_override + ":" + std::to_string(size);
+    return core::measure(
+        cfg, [&] { return apps::makeApp(name, size); }, &cache, key);
+}
+
+/// "quick" mode trims sweeps (env CCNUMA_QUICK=1).
+inline bool
+quickMode()
+{
+    const char* q = std::getenv("CCNUMA_QUICK");
+    return q && *q == '1';
+}
+
+} // namespace ccnuma::bench
+
+#endif // CCNUMA_BENCH_COMMON_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 10: execution-time breakdowns of original vs restructured
+ * versions on 128 processors, total time normalized to the original:
+ * (a-c) Barnes original / MergeTree / Spatial -- communication drops,
+ * some balance is lost, Spatial wins at scale; (d-e) Water-Nsquared
+ * original / loop-interchanged -- remote capacity misses vanish.
+ */
+
+#include "bench/common.hh"
+
+using namespace ccnuma;
+
+namespace {
+
+void
+compare(const char* title, const std::vector<const char*>& variants,
+        std::uint64_t size, std::uint64_t cache_bytes)
+{
+    core::printHeader(title);
+    sim::Cycles base_time = 0;
+    for (const char* v : variants) {
+        sim::MachineConfig cfg;
+        cfg.numProcs = 128;
+        if (cache_bytes)
+            cfg.cacheBytes = cache_bytes;
+        auto app = apps::makeApp(v, size);
+        const sim::RunResult r = core::runApp(cfg, *app);
+        if (base_time == 0)
+            base_time = r.time;
+        char label[96];
+        std::snprintf(label, sizeof label, "%s (time=%.2fx orig)", v,
+                      static_cast<double>(r.time) / base_time);
+        core::printBreakdown(label, r.breakdown());
+        core::printCounters(v, r.totals());
+        std::fflush(stdout);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    compare("Figure 10(a-c): Barnes tree-build variants, 32K bodies",
+            {"barnes", "barnes-mergetree", "barnes-spatial"}, 32768, 0);
+    compare("Figure 10(d-e): Water-Nsquared loop order, 8K molecules "
+            "[scaled 512KB cache]",
+            {"water-nsq", "water-nsq-interchanged"}, 8192, 512u << 10);
+    return 0;
+}

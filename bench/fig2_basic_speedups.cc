@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 2: speedups of all applications at their basic problem sizes
+ * on 32/64/96/128 processors. Paper shape: every application except
+ * Raytrace stops scaling beyond ~64 processors.
+ */
+
+#include "bench/common.hh"
+
+using namespace ccnuma;
+using bench::measureApp;
+
+int
+main()
+{
+    core::printHeader("Figure 2: speedups at basic problem sizes");
+    const std::vector<int> procs =
+        bench::quickMode() ? std::vector<int>{32, 128}
+                           : std::vector<int>{32, 64, 96, 128};
+
+    std::printf("%-16s", "application");
+    for (const int P : procs)
+        std::printf("   P=%-4d", P);
+    std::printf("   eff@128\n");
+
+    bench::SeqCache cache;
+    for (const auto& name : apps::originalApps()) {
+        std::printf("%-16s", name.c_str());
+        double eff_last = 0;
+        for (const int P : procs) {
+            const auto mres = measureApp(name, 0, P, cache);
+            std::printf(" %8.1f", mres.speedup());
+            eff_last = mres.efficiency();
+            std::fflush(stdout);
+        }
+        std::printf("   %5.2f %s\n", eff_last,
+                    eff_last >= core::kGoodEfficiency ? "(scales)"
+                                                      : "");
+    }
+    std::printf("\n60%% parallel efficiency at 128 procs = speedup "
+                "76.8 (the paper's 'scaling well' bar)\n");
+    return 0;
+}

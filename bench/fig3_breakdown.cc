@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Figure 3: average Busy / Memory / Synchronization execution-time
+ * breakdown of 128-processor runs at the basic problem sizes. Paper
+ * shape: memory stall dominates most applications; synchronization
+ * (wait time) dominates Water-Spatial.
+ */
+
+#include "bench/common.hh"
+
+using namespace ccnuma;
+using bench::measureApp;
+
+int
+main()
+{
+    core::printHeader(
+        "Figure 3: average 128-proc breakdown, basic problem sizes");
+    for (const auto& name : apps::originalApps()) {
+        sim::MachineConfig cfg;
+        cfg.numProcs = 128;
+        auto app = apps::makeApp(name, 0);
+        const sim::RunResult r = core::runApp(cfg, *app);
+        core::printBreakdown(name, r.breakdown());
+        std::fflush(stdout);
+    }
+    return 0;
+}

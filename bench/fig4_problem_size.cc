@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 4: parallel efficiency versus problem size for each
+ * application, at 32/64/128 processors. Paper shapes: bigger problems
+ * help Ocean, Water-Spatial, Volrend, Shear-Warp, Barnes (and FFT and
+ * Radix at high processor counts); they eventually *hurt* Raytrace and
+ * Water-Nsquared; only Ocean and Water-Spatial cross 60% at 128p on
+ * reasonable sizes. Ocean and FFT show capacity superlinearity.
+ */
+
+#include "bench/common.hh"
+
+using namespace ccnuma;
+using bench::measureApp;
+
+namespace {
+
+struct Sweep {
+    const char* app;
+    std::vector<std::uint64_t> sizes;
+    /// Machine-cache override (0 = default); Water-Nsquared's sweep
+    /// runs on a ratio-preserving scaled cache per DESIGN.md.
+    std::uint64_t cacheBytes = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    core::printHeader(
+        "Figure 4: parallel efficiency vs problem size");
+    const bool quick = bench::quickMode();
+    std::vector<Sweep> sweeps = {
+        {"fft", {1u << 18, 1u << 20, 1u << 22}, 0},
+        {"ocean", {514, 1026, 2050}, 0},
+        {"radix", {1u << 20, 1u << 22, 1u << 24}, 0},
+        {"barnes", {4096, 16384, 32768}, 0},
+        {"water-nsq", {1024, 2048, 4096, 8192}, 512u << 10},
+        {"water-spatial", {4096, 16384, 32768}, 0},
+        {"raytrace", {64, 128, 256}, 0},
+        {"volrend", {128, 256}, 0},
+        {"shearwarp", {128, 192, 256}, 0},
+        {"infer", {422}, 0},
+        {"protein", {8, 16, 32}, 0},
+    };
+    const std::vector<int> procs = quick ? std::vector<int>{128}
+                                         : std::vector<int>{32, 64, 128};
+
+    for (const Sweep& sw : sweeps) {
+        bench::SeqCache cache;
+        std::vector<core::Series> series;
+        for (const int P : procs)
+            series.push_back({"P=" + std::to_string(P), {}, {}});
+        for (const std::uint64_t size : sw.sizes) {
+            for (std::size_t i = 0; i < procs.size(); ++i) {
+                sim::MachineConfig cfg;
+                if (sw.cacheBytes)
+                    cfg.cacheBytes = sw.cacheBytes;
+                const auto mres =
+                    measureApp(sw.app, size, procs[i], cache, cfg);
+                series[i].xs.push_back(std::to_string(size));
+                series[i].ys.push_back(mres.efficiency());
+                std::fflush(stdout);
+            }
+        }
+        std::printf("\n-- %s (size unit: %s)%s --\n", sw.app,
+                    apps::sizeUnit(sw.app).c_str(),
+                    sw.cacheBytes ? " [scaled 512KB cache]" : "");
+        core::printSeries(apps::sizeUnit(sw.app), series);
+    }
+    std::printf("\nDotted 60%% efficiency bar: 0.600\n");
+    return 0;
+}

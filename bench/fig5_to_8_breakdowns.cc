@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figures 5-8: per-processor execution-time breakdown continua on 128
+ * processors for a small and a large problem size, plus the
+ * uniprocessor breakdown, for Water-Spatial (Fig 5, sync collapses
+ * with size), FFT (Fig 6, capacity misses at small machines), Shear-
+ * Warp (Fig 7, memory remains the bottleneck) and Raytrace (Fig 8,
+ * large diffuse working set).
+ */
+
+#include "bench/common.hh"
+
+using namespace ccnuma;
+
+namespace {
+
+void
+figure(const char* title, const char* app, std::uint64_t small,
+       std::uint64_t large)
+{
+    core::printHeader(title);
+    for (const std::uint64_t size : {small, large}) {
+        sim::MachineConfig cfg;
+        cfg.numProcs = 128;
+        auto a = apps::makeApp(app, size);
+        const sim::RunResult r = core::runApp(cfg, *a);
+        char label[128];
+        std::snprintf(label, sizeof label, "%s size=%llu, 128 procs",
+                      app, static_cast<unsigned long long>(size));
+        core::printPerProcBreakdown(label, r, 16);
+        // Uniprocessor breakdown for the same size (capacity check).
+        sim::MachineConfig seq;
+        seq.numProcs = 1;
+        auto a1 = apps::makeApp(app, size);
+        const sim::RunResult r1 = core::runApp(seq, *a1);
+        std::snprintf(label, sizeof label, "  uniprocessor size=%llu",
+                      static_cast<unsigned long long>(size));
+        core::printBreakdown(label, r1.breakdown());
+        std::fflush(stdout);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    figure("Figure 5: Water-Spatial per-proc breakdown",
+           "water-spatial", 4096, 32768);
+    figure("Figure 6: FFT per-proc breakdown", "fft", 1u << 20,
+           1u << 22);
+    figure("Figure 7: Shear-Warp per-proc breakdown", "shearwarp", 128,
+           256);
+    figure("Figure 8: Raytrace per-proc breakdown", "raytrace", 128,
+           256);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 9: parallel efficiency versus problem size, original versus
+ * restructured application versions. Paper shapes: the restructurings
+ * give large wins at 128 processors -- Barnes (Spatial tree build),
+ * Water-Nsquared (loop interchange: 60% from 8K molecules), Shear-Warp
+ * (cross-phase locality), Infer (static within-clique), Sample sort
+ * (bounded near 50% by the double local sort but far above Radix).
+ */
+
+#include "bench/common.hh"
+
+using namespace ccnuma;
+using bench::measureApp;
+
+namespace {
+
+struct Pair {
+    const char* orig;
+    const char* restr;
+    std::vector<std::uint64_t> sizes;
+    std::uint64_t cacheBytes = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    core::printHeader(
+        "Figure 9: original vs restructured, efficiency at 128 procs");
+    std::vector<Pair> pairs = {
+        {"barnes", "barnes-spatial", {4096, 16384, 32768}, 0},
+        {"water-nsq", "water-nsq-interchanged", {2048, 4096, 8192},
+         512u << 10},
+        {"shearwarp", "shearwarp-locality", {128, 192, 256}, 0},
+        {"radix", "samplesort", {1u << 20, 1u << 22, 1u << 24}, 0},
+        {"infer", "infer-static", {422}, 0},
+    };
+    const std::vector<int> procs =
+        bench::quickMode() ? std::vector<int>{128}
+                           : std::vector<int>{32, 128};
+
+    for (const Pair& pr : pairs) {
+        bench::SeqCache cache;
+        std::vector<core::Series> series;
+        for (const int P : procs) {
+            series.push_back(
+                {"orig P=" + std::to_string(P), {}, {}});
+            series.push_back(
+                {"restr P=" + std::to_string(P), {}, {}});
+        }
+        for (const std::uint64_t size : pr.sizes) {
+            for (std::size_t i = 0; i < procs.size(); ++i) {
+                sim::MachineConfig cfg;
+                if (pr.cacheBytes)
+                    cfg.cacheBytes = pr.cacheBytes;
+                // Shared sequential baseline: the original program.
+                const auto orig = measureApp(pr.orig, size, procs[i],
+                                             cache, cfg, pr.orig);
+                const auto restr = measureApp(pr.restr, size, procs[i],
+                                              cache, cfg, pr.orig);
+                series[2 * i].xs.push_back(std::to_string(size));
+                series[2 * i].ys.push_back(orig.efficiency());
+                series[2 * i + 1].xs.push_back(std::to_string(size));
+                series[2 * i + 1].ys.push_back(restr.efficiency());
+                std::fflush(stdout);
+            }
+        }
+        std::printf("\n-- %s vs %s --\n", pr.orig, pr.restr);
+        core::printSeries(apps::sizeUnit(pr.orig), series);
+    }
+    return 0;
+}

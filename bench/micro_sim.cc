@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator substrate itself:
+ * cache access, protocol transactions, topology routing and
+ * end-to-end simulation throughput. These guard the simulator's own
+ * performance (host ops/second), not the simulated machine's.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/cache.hh"
+#include "sim/machine.hh"
+#include "sim/topology.hh"
+
+using namespace ccnuma::sim;
+
+namespace {
+
+void
+BM_CacheHit(benchmark::State& state)
+{
+    Cache c(4u << 20, 2, 128);
+    c.access(0x1000, false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(c.access(0x1000, false));
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_CacheMissEvict(benchmark::State& state)
+{
+    Cache c(64u << 10, 2, 128);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.access(a, false));
+        a += 128;
+    }
+}
+BENCHMARK(BM_CacheMissEvict);
+
+void
+BM_TopologyRoute(benchmark::State& state)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 128;
+    Topology t(cfg);
+    NodeId n = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.route(n % 64, (n * 7 + 13) % 64));
+        ++n;
+    }
+}
+BENCHMARK(BM_TopologyRoute);
+
+void
+BM_LocalAccess(benchmark::State& state)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 2;
+    Machine m(cfg);
+    const Addr a = m.alloc(64u << 20);
+    m.place(a, 64u << 20, 0);
+    // Drive accesses through the memory system directly.
+    ProcStats st;
+    Cycles now = 0;
+    Addr addr = a;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            m.mem().access(0, now, addr, false, st));
+        addr += 128;
+        now += 100;
+    }
+}
+BENCHMARK(BM_LocalAccess);
+
+void
+BM_EndToEndThroughput(benchmark::State& state)
+{
+    // Ops/second of a 64-proc machine running a streaming workload.
+    const int P = 64;
+    const int OPS = 20000;
+    for (auto _ : state) {
+        MachineConfig cfg;
+        cfg.numProcs = P;
+        Machine m(cfg);
+        const Addr a = m.alloc(256u << 20);
+        m.placeAcrossProcs(a, 256u << 20);
+        RunResult r = m.run([a](Cpu& cpu) -> Task {
+            const Addr mine =
+                a + static_cast<Addr>(cpu.id()) * (4u << 20);
+            for (int i = 0; i < OPS; ++i) {
+                cpu.read(mine + static_cast<Addr>(i % 30000) * 128);
+                cpu.busy(60);
+                if ((i & 7) == 0)
+                    co_await cpu.checkpoint();
+            }
+            co_return;
+        });
+        benchmark::DoNotOptimize(r.time);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(P) * OPS);
+}
+BENCHMARK(BM_EndToEndThroughput)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

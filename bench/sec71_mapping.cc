@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Section 7.1: impact of mapping processes to the network topology.
+ * Paper shapes: linear beats random consistently for Barnes (more for
+ * small problems); near-neighbor pair mapping matters for Ocean mainly
+ * at 128p (metarouters); FFT *prefers* transpose orderings where the
+ * two processes on a node do not start transposing from each other --
+ * staggered ordering beats unstaggered, and with staggering the
+ * mapping itself matters little.
+ */
+
+#include "bench/common.hh"
+
+using namespace ccnuma;
+using bench::measureApp;
+
+int
+main()
+{
+    core::printHeader("Section 7.1: process-to-topology mapping");
+
+    // Barnes: linear vs random mapping.
+    std::printf("Barnes-Hut (16K bodies)\n");
+    for (const int P : {64, 128}) {
+        bench::SeqCache cache;
+        sim::MachineConfig lin;
+        lin.mapping = sim::Mapping::Linear;
+        sim::MachineConfig rnd;
+        rnd.mapping = sim::Mapping::Random;
+        const auto a = measureApp("barnes", 16384, P, cache, lin,
+                                  "barnes");
+        const auto b = measureApp("barnes", 16384, P, cache, rnd,
+                                  "barnes");
+        std::printf("  P=%-3d linear %.1f  random %.1f  (paper 128p: "
+                    "14.7 vs 8.5 at 16K)\n",
+                    P, a.speedup(), b.speedup());
+        std::fflush(stdout);
+    }
+
+    // Ocean: near-neighbor (linear) vs paired-random vs random.
+    std::printf("\nOcean (2050x2050)\n");
+    for (const int P : {64, 128}) {
+        bench::SeqCache cache;
+        sim::MachineConfig lin;
+        lin.mapping = sim::Mapping::Linear;
+        sim::MachineConfig prnd;
+        prnd.mapping = sim::Mapping::PairedRandom;
+        sim::MachineConfig rnd;
+        rnd.mapping = sim::Mapping::Random;
+        const auto a = measureApp("ocean", 2050, P, cache, lin,
+                                  "ocean");
+        const auto b = measureApp("ocean", 2050, P, cache, prnd,
+                                  "ocean");
+        const auto c = measureApp("ocean", 2050, P, cache, rnd,
+                                  "ocean");
+        std::printf("  P=%-3d near-neighbor %.1f  paired-random %.1f  "
+                    "random %.1f\n",
+                    P, a.speedup(), b.speedup(), c.speedup());
+        std::fflush(stdout);
+    }
+
+    // FFT: staggered vs unstaggered transpose x linear vs random.
+    std::printf("\nFFT (2^20 points, 128 procs)\n");
+    {
+        bench::SeqCache cache;
+        for (const char* app : {"fft", "fft-nostagger"}) {
+            for (const auto mapping :
+                 {sim::Mapping::Linear, sim::Mapping::Random}) {
+                sim::MachineConfig cfg;
+                cfg.mapping = mapping;
+                const auto mres =
+                    measureApp(app, 1u << 20, 128, cache, cfg, "fft");
+                std::printf("  %-14s %-7s speedup %.1f\n", app,
+                            mapping == sim::Mapping::Linear ? "linear"
+                                                            : "random",
+                            mres.speedup());
+                std::fflush(stdout);
+            }
+        }
+    }
+    std::printf("\n(paper: unstaggered+linear is the bad case -- both "
+                "node processors start transposing from one node)\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Section 7.2: one versus two processors per node (same processor
+ * count, twice the nodes when one per node). Paper shape: small
+ * difference when communication dominates; one-per-node consistently
+ * wins when problem sizes are large and local capacity misses contend
+ * with communication at the shared Hub/memory -- e.g. Sample sort at
+ * 32 procs with 16M keys ran ~40% better one-per-node.
+ */
+
+#include "bench/common.hh"
+
+using namespace ccnuma;
+using bench::measureApp;
+
+int
+main()
+{
+    core::printHeader(
+        "Section 7.2: one vs two processors per node");
+    struct Case {
+        const char* app;
+        std::uint64_t size;
+        int procs;
+    };
+    const Case cases[] = {
+        {"samplesort", 1u << 24, 32}, {"samplesort", 1u << 24, 64},
+        {"fft", 1u << 22, 32},        {"fft", 1u << 22, 64},
+        {"radix", 1u << 24, 64},      {"ocean", 2050, 64},
+        {"raytrace", 128, 64},
+    };
+    std::printf("%-14s %10s %5s %10s %10s %8s\n", "app", "size", "P",
+                "2/node", "1/node", "gain");
+    for (const Case& c : cases) {
+        bench::SeqCache cache;
+        sim::MachineConfig two;
+        sim::MachineConfig one;
+        one.oneProcPerNode = true;
+        const auto r2 = measureApp(c.app, c.size, c.procs, cache, two,
+                                   c.app);
+        const auto r1 = measureApp(c.app, c.size, c.procs, cache, one,
+                                   c.app);
+        const double gain =
+            (static_cast<double>(r2.parTime) - r1.parTime) /
+            r2.parTime * 100.0;
+        std::printf("%-14s %10llu %5d %9.1fx %9.1fx %+7.1f%%\n", c.app,
+                    static_cast<unsigned long long>(c.size), c.procs,
+                    r2.speedup(), r1.speedup(), gain);
+        std::fflush(stdout);
+    }
+    std::printf("\n(gain = execution-time reduction from one "
+                "processor per node)\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Table 1: back-to-back memory latencies of the simulated machine, via
+ * a pointer-chase microbenchmark, against the paper's Origin2000 row
+ * (338 ns local, 656 ns remote clean, 892 ns remote dirty, ratios
+ * 2:1 and 3:1).
+ */
+
+#include "bench/common.hh"
+#include "sim/machine.hh"
+
+using namespace ccnuma;
+using namespace ccnuma::sim;
+
+namespace {
+
+/// Measure the average stall of `n` dependent misses with the given
+/// setup: home node, and optionally a dirtying processor.
+double
+chase(NodeId home, ProcId dirtier, int lines)
+{
+    MachineConfig cfg;
+    cfg.numProcs = 8;
+    Machine m(cfg);
+    const Addr a = m.alloc(static_cast<std::uint64_t>(lines) * 128);
+    m.place(a, static_cast<std::uint64_t>(lines) * 128, home);
+    const BarrierId bar = m.barrierCreate();
+    RunResult r = m.run([=](Cpu& cpu) -> Task {
+        if (cpu.id() == dirtier && dirtier != 0) {
+            for (int i = 0; i < lines; ++i) {
+                cpu.write(a + static_cast<Addr>(i) * 128);
+                if (i % 16 == 0)
+                    co_await cpu.checkpoint();
+            }
+        }
+        co_await cpu.barrier(bar);
+        if (cpu.id() == 0) {
+            for (int i = 0; i < lines; ++i) {
+                cpu.read(a + static_cast<Addr>(i) * 128);
+                co_await cpu.checkpoint();
+            }
+        }
+        co_return;
+    });
+    return static_cast<double>(r.procs[0].t.memStall) / lines *
+           cfg.nsPerCycle();
+}
+
+} // namespace
+
+int
+main()
+{
+    core::printHeader(
+        "Table 1: memory latencies (simulated vs paper Origin2000)");
+    const int lines = 512;
+    const double local = chase(0, 0, lines);       // home = own node
+    const double clean = chase(1, 0, lines);       // nearest remote
+    const double dirty = chase(1, 4, lines);       // dirty in 3rd node
+
+    std::printf("%-28s %10s %10s\n", "latency", "simulated", "paper");
+    std::printf("%-28s %8.0fns %8.0fns\n", "Local", local, 338.0);
+    std::printf("%-28s %8.0fns %8.0fns\n", "Remote clean", clean, 656.0);
+    std::printf("%-28s %8.0fns %8.0fns\n", "Remote dirty (3rd node)",
+                dirty, 892.0);
+    std::printf("%-28s %9.2f:1 %9.2f:1\n", "Remote/local (clean)",
+                clean / local, 2.0);
+    std::printf("%-28s %9.2f:1 %9.2f:1\n", "Remote/local (dirty)",
+                dirty / local, 3.0);
+
+    // Latency vs distance: farther routers and metarouter crossings.
+    core::printHeader("Remote-clean latency vs distance (128p machine)");
+    MachineConfig cfg;
+    cfg.numProcs = 128;
+    Machine m(cfg);
+    for (NodeId to : {0, 1, 2, 6, 14, 16, 48}) {
+        const Cycles c = m.mem().pureFetch(0, to);
+        std::printf("  node 0 -> node %-3d  %4llu cycles  %6.0f ns%s\n",
+                    to, static_cast<unsigned long long>(c),
+                    c * cfg.nsPerCycle(),
+                    to >= 16 ? "  (metarouter crossing)" : "");
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table 3: speedup under different data-distribution strategies on 64
+ * processors for large FFT, Radix and Ocean problems: manual placement
+ * vs round-robin vs round-robin + dynamic page migration. Paper shape:
+ * manual placement far ahead; enabling migration does not help.
+ */
+
+#include "bench/common.hh"
+
+using namespace ccnuma;
+using bench::measureApp;
+
+int
+main()
+{
+    core::printHeader(
+        "Table 3: data distribution strategies, 64 processors");
+    struct Row {
+        const char* app;
+        std::uint64_t size;
+        const char* label;
+        int paper_manual, paper_rr, paper_rrmig;
+    };
+    const Row rows[] = {
+        {"fft", 1u << 22, "FFT 2^22", 55, 26, 25},
+        {"radix", 1u << 24, "Radix 16M", 38, 24, 25},
+        {"ocean", 2050, "Ocean 2050^2", 64, 34, 33},
+    };
+    std::printf("%-14s %8s %8s %8s   (paper: %s)\n", "app", "manual",
+                "rrobin", "rr+mig", "manual/rr/rr+mig");
+    for (const Row& row : rows) {
+        bench::SeqCache cache;
+        double sp[3];
+        for (int mode = 0; mode < 3; ++mode) {
+            sim::MachineConfig cfg;
+            cfg.placement = mode == 0 ? sim::Placement::Explicit
+                                      : sim::Placement::RoundRobin;
+            cfg.pageMigration = mode == 2;
+            const auto mres =
+                measureApp(row.app, row.size, 64, cache, cfg);
+            sp[mode] = mres.speedup();
+            std::fflush(stdout);
+        }
+        std::printf("%-14s %8.1f %8.1f %8.1f   (paper: %d/%d/%d)\n",
+                    row.label, sp[0], sp[1], sp[2], row.paper_manual,
+                    row.paper_rr, row.paper_rrmig);
+    }
+    return 0;
+}

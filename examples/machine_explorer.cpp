@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Scenario: architecture what-ifs -- how do machine parameters (page
+ * placement policy, processors per node, topology mapping, cache size)
+ * change an application's performance? Exercises the simulator's
+ * machine-configuration surface end to end.
+ *
+ * Usage: machine_explorer [app] [size] [procs]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "apps/registry.hh"
+#include "core/report.hh"
+#include "core/study.hh"
+
+using namespace ccnuma;
+
+namespace {
+
+void
+runCase(const char* label, const sim::MachineConfig& cfg,
+        const std::string& app, std::uint64_t size,
+        std::map<std::string, sim::Cycles>& cache)
+{
+    const auto m = core::measure(
+        cfg, [&] { return apps::makeApp(app, size); }, &cache, app);
+    const auto b = m.par.breakdown();
+    std::printf("%-34s speedup %6.1f  busy %3.0f%% mem %3.0f%% sync "
+                "%3.0f%%\n",
+                label, m.speedup(), b.busy * 100, b.mem * 100,
+                b.sync * 100);
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+try {
+    const std::string app = argc > 1 ? argv[1] : "ocean";
+    const std::uint64_t size =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0;
+    const int procs = argc > 3 ? std::atoi(argv[3]) : 64;
+
+    core::printHeader("machine explorer: " + app + " on " +
+                      std::to_string(procs) + " procs");
+    std::map<std::string, sim::Cycles> cache;
+
+    sim::MachineConfig base;
+    base.numProcs = procs;
+    runCase("baseline (manual placement)", base, app, size, cache);
+
+    sim::MachineConfig rr = base;
+    rr.placement = sim::Placement::RoundRobin;
+    runCase("round-robin pages", rr, app, size, cache);
+
+    sim::MachineConfig mig = rr;
+    mig.pageMigration = true;
+    runCase("round-robin + page migration", mig, app, size, cache);
+
+    sim::MachineConfig ft = base;
+    ft.placement = sim::Placement::FirstTouch;
+    runCase("first-touch pages", ft, app, size, cache);
+
+    sim::MachineConfig one = base;
+    one.oneProcPerNode = true;
+    runCase("one processor per node", one, app, size, cache);
+
+    sim::MachineConfig rnd = base;
+    rnd.mapping = sim::Mapping::Random;
+    runCase("random topology mapping", rnd, app, size, cache);
+
+    sim::MachineConfig small_cache = base;
+    small_cache.cacheBytes = 512u << 10;
+    runCase("512 KB caches (vs 4 MB)", small_cache, app, size, cache);
+
+    sim::MachineConfig fop = base;
+    fop.syncKind = sim::SyncKind::FetchOp;
+    fop.barrierAlg = sim::BarrierAlg::Centralized;
+    runCase("fetch&op centralized sync", fop, app, size, cache);
+
+    return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr, "known applications: ");
+    for (const auto& n : ccnuma::apps::originalApps())
+        std::fprintf(stderr, "%s ", n.c_str());
+    std::fprintf(stderr, "(+ variants, see README)\n");
+    return 1;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Quickstart: simulate a 64-processor Origin2000-class machine running
+ * the SPLASH-2 FFT, and report speedup and where the time goes.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "apps/registry.hh"
+#include "core/report.hh"
+#include "core/study.hh"
+
+using namespace ccnuma;
+
+int
+main()
+{
+    // 1. Configure a machine: 64 processors, 2 per node, calibrated to
+    //    the SGI Origin2000's latencies (Table 1 of the paper).
+    sim::MachineConfig cfg;
+    cfg.numProcs = 64;
+
+    // 2. Pick an application at its basic problem size (2^20 points).
+    //    makeApp knows every app and variant in the study.
+    core::printHeader("quickstart: FFT (2^20 points) on 64 processors");
+
+    // 3. Measure: runs the same program on a 1-processor machine for
+    //    the baseline, then on the parallel machine.
+    std::map<std::string, sim::Cycles> seq_cache;
+    const core::Measurement m = core::measure(
+        cfg, [] { return apps::makeApp("fft"); }, &seq_cache, "fft");
+
+    std::printf("sequential time   %8.1f ms (simulated)\n",
+                m.seqTime * cfg.nsPerCycle() / 1e6);
+    std::printf("parallel time     %8.1f ms (simulated)\n",
+                m.parTime * cfg.nsPerCycle() / 1e6);
+    std::printf("speedup           %8.1f on %d processors\n",
+                m.speedup(), cfg.numProcs);
+    std::printf("parallel effcy    %8.1f %% (the paper's bar: 60%%)\n",
+                m.efficiency() * 100);
+
+    // 4. Where does the time go?
+    core::printBreakdown("execution time breakdown", m.par.breakdown());
+    core::printCounters("event counters (all procs)", m.par.totals());
+
+    // 5. Same again with software prefetch in the transpose phases.
+    const core::Measurement pf = core::measure(
+        cfg, [] { return apps::makeApp("fft-prefetch"); }, &seq_cache,
+        "fft");
+    std::printf("\nwith prefetch     %8.1f ms  (%+.1f%%)\n",
+                pf.parTime * cfg.nsPerCycle() / 1e6,
+                (static_cast<double>(m.parTime) - pf.parTime) /
+                    m.parTime * 100);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Scenario: "will my application scale to 128 processors?" -- the
+ * paper's core question, for any application in the registry.
+ *
+ * Usage: scaling_study [app] [size]
+ *   e.g. scaling_study barnes 16384
+ *        scaling_study water-spatial 32768
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "apps/registry.hh"
+#include "core/report.hh"
+#include "core/study.hh"
+
+using namespace ccnuma;
+
+int
+main(int argc, char** argv)
+try {
+    const std::string app = argc > 1 ? argv[1] : "water-spatial";
+    const std::uint64_t size =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0;
+
+    core::printHeader("scaling study: " + app);
+    std::printf("problem size: %llu %s\n\n",
+                static_cast<unsigned long long>(
+                    size ? size : apps::basicSize(app)),
+                apps::sizeUnit(app).c_str());
+
+    std::map<std::string, sim::Cycles> seq_cache;
+    std::printf("%6s %10s %8s %8s   breakdown\n", "procs", "speedup",
+                "effcy", "scales?");
+    for (const int P : {2, 8, 32, 64, 128}) {
+        sim::MachineConfig cfg;
+        cfg.numProcs = P;
+        const core::Measurement m = core::measure(
+            cfg, [&] { return apps::makeApp(app, size); }, &seq_cache,
+            app);
+        const auto b = m.par.breakdown();
+        std::printf("%6d %10.1f %7.1f%% %8s   busy %.0f%% mem %.0f%% "
+                    "sync %.0f%%\n",
+                    P, m.speedup(), m.efficiency() * 100,
+                    m.efficiency() >= core::kGoodEfficiency ? "yes"
+                                                            : "no",
+                    b.busy * 100, b.mem * 100, b.sync * 100);
+        std::fflush(stdout);
+    }
+
+    const std::string restr = apps::restructuredVariant(app);
+    if (!restr.empty()) {
+        std::printf("\nHint: the paper's restructured variant of this "
+                    "application is \"%s\";\ntry: scaling_study %s\n",
+                    restr.c_str(), restr.c_str());
+    }
+    return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr, "known applications: ");
+    for (const auto& n : ccnuma::apps::originalApps())
+        std::fprintf(stderr, "%s ", n.c_str());
+    std::fprintf(stderr, "(+ variants, see README)\n");
+    return 1;
+}

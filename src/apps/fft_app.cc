@@ -1,0 +1,151 @@
+#include "apps/fft_app.hh"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace ccnuma::apps {
+
+using namespace sim;
+
+void
+FftApp::setup(Machine& m)
+{
+    m_ = &m;
+    if (cfg_.logPoints % 2 != 0)
+        throw std::invalid_argument("fft: logPoints must be even");
+    rows_ = 1ull << (cfg_.logPoints / 2);
+    const std::uint64_t bytes = (1ull << cfg_.logPoints) * 16; // complex
+    a_ = m.alloc(bytes);
+    b_ = m.alloc(bytes);
+    // Manual placement: each processor's row partition in its own node.
+    m.placeAcrossProcs(a_, bytes);
+    m.placeAcrossProcs(b_, bytes);
+    bar_ = m.barrierCreate();
+}
+
+Machine::Program
+FftApp::program()
+{
+    const FftConfig cfg = cfg_;
+    const std::uint64_t rows = rows_;
+    const Addr A = a_, B = b_;
+    const BarrierId bar = bar_;
+
+    return [cfg, rows, A, B, bar](Cpu& cpu) -> Task {
+        const int P = cpu.nprocs();
+        const int p = cpu.id();
+        const auto [row_b, row_e] = blockRange(rows, P, p);
+        const std::uint64_t line_groups = rows / 8; // 8 complex per line
+        const int fft_stages = std::countr_zero(rows);
+
+        // Address of the line holding (row, colGroup*8..+7) of a matrix.
+        auto line = [rows](Addr base, std::uint64_t row,
+                           std::uint64_t col_group) {
+            return base + (row * rows + col_group * 8) * 16;
+        };
+        // Owner of a row under the block partition (for staggering).
+        auto block_of_proc = [&](int q) {
+            return blockRange(rows, P, q).first / 8;
+        };
+
+        // ---- blocked transpose dst[r][c] = src[c][r] ----
+        auto transpose = [&](Addr src, Addr dst) -> Task {
+            // Destination row groups that intersect our partition.
+            const std::uint64_t g_b = row_b / 8;
+            const std::uint64_t g_e = (row_e + 7) / 8;
+            for (std::uint64_t g = g_b; g < g_e; ++g) {
+                // All source row groups, staggered start.
+                const std::uint64_t start =
+                    cfg.stagger ? block_of_proc((p + 1) % P) : 0;
+                for (std::uint64_t k = 0; k < line_groups; ++k) {
+                    const std::uint64_t sb =
+                        (start + k) % line_groups;
+                    if (cfg.prefetch) {
+                        const std::uint64_t nb =
+                            (start + k + 1) % line_groups;
+                        for (int r = 0; r < 8; ++r)
+                            cpu.prefetch(line(src, nb * 8 + r, g));
+                    }
+                    for (int r = 0; r < 8; ++r)
+                        cpu.read(line(src, sb * 8 + r, g));
+                    cpu.busy(64 * 3); // 8x8 register transpose
+                    for (int r = 0; r < 8; ++r) {
+                        const std::uint64_t dr = g * 8 + r;
+                        if (dr >= row_b && dr < row_e)
+                            cpu.write(line(dst, dr, sb));
+                    }
+                    co_await cpu.nestedCheckpoint();
+                }
+            }
+            co_return;
+        };
+
+        // ---- 1-D FFTs over our rows ----
+        auto rowffts = [&](Addr mat) -> Task {
+            for (std::uint64_t r = row_b; r < row_e; ++r) {
+                for (std::uint64_t cg = 0; cg < line_groups; ++cg)
+                    cpu.read(line(mat, r, cg));
+                cpu.busy(rows * fft_stages * cfg.cyclesPerPoint);
+                for (std::uint64_t cg = 0; cg < line_groups; ++cg)
+                    cpu.write(line(mat, r, cg));
+                co_await cpu.nestedCheckpoint();
+            }
+            co_return;
+        };
+
+        // ---- fused transpose + row FFTs (implicit-transpose try) ----
+        auto fused = [&](Addr src, Addr dst) -> Task {
+            // Process our rows in groups of 8: gather the group's
+            // column blocks from every source row group, interleaved
+            // with the FFT computation (reads spread, not bursty).
+            for (std::uint64_t r = row_b; r < row_e; r += 8) {
+                const std::uint64_t g = r / 8;
+                const std::uint64_t start =
+                    cfg.stagger ? block_of_proc((p + 1) % P) : 0;
+                for (std::uint64_t k = 0; k < line_groups; ++k) {
+                    const std::uint64_t sb = (start + k) % line_groups;
+                    for (int rr = 0; rr < 8; ++rr)
+                        cpu.read(line(src, sb * 8 + rr, g));
+                    // A slice of the rows' FFT work between reads.
+                    cpu.busy(8 * rows * fft_stages *
+                             cfg.cyclesPerPoint / line_groups);
+                    for (int rr = 0; rr < 8; ++rr) {
+                        const std::uint64_t dr = r + rr;
+                        if (dr < row_e)
+                            cpu.write(line(dst, dr, sb));
+                    }
+                    co_await cpu.nestedCheckpoint();
+                }
+            }
+            co_return;
+        };
+
+        // Six-step FFT with barriers between phases.
+        if (cfg.implicitTranspose) {
+            // 1+2+3 fused: transpose A into B while computing the row
+            // FFTs.
+            CCNUMA_RUN_NESTED(cpu, fused(A, B));
+            co_await cpu.barrier(bar);
+        } else {
+            // 1. transpose A -> B
+            CCNUMA_RUN_NESTED(cpu, transpose(A, B));
+            co_await cpu.barrier(bar);
+            // 2+3. row FFTs + twiddle on B
+            CCNUMA_RUN_NESTED(cpu, rowffts(B));
+            co_await cpu.barrier(bar);
+        }
+        // 4. transpose B -> A
+        CCNUMA_RUN_NESTED(cpu, transpose(B, A));
+        co_await cpu.barrier(bar);
+        // 5. row FFTs on A
+        CCNUMA_RUN_NESTED(cpu, rowffts(A));
+        co_await cpu.barrier(bar);
+        // 6. transpose A -> B
+        CCNUMA_RUN_NESTED(cpu, transpose(A, B));
+        co_await cpu.barrier(bar);
+        co_return;
+    };
+}
+
+} // namespace ccnuma::apps

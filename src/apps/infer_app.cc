@@ -1,0 +1,165 @@
+#include "apps/infer_app.hh"
+
+#include <algorithm>
+
+namespace ccnuma::apps {
+
+using namespace sim;
+
+void
+InferApp::setup(Machine& m)
+{
+    nprocs_ = m.config().numProcs;
+    tree_ = kernels::randomTree(cfg_.numCliques, cfg_.maxVars,
+                                cfg_.seed);
+
+    // Depth levels (collect runs leaves->root; we process by level).
+    std::vector<int> depth(tree_.cliques.size(), 0);
+    int max_depth = 0;
+    for (const int c : tree_.order) {
+        const int par = tree_.cliques[c].parent;
+        depth[c] = par >= 0 ? depth[par] + 1 : 0;
+        max_depth = std::max(max_depth, depth[c]);
+    }
+    levels_.assign(max_depth + 1, {});
+    for (const int c : tree_.order)
+        levels_[depth[c]].push_back(c);
+
+    // Static owners: coarse contiguous ranges of the topological order
+    // (leaf-localized, as the paper's original static assignment).
+    owner_.assign(tree_.cliques.size(), 0);
+    for (std::size_t i = 0; i < tree_.order.size(); ++i)
+        owner_[tree_.order[i]] = static_cast<int>(
+            i * nprocs_ / tree_.order.size());
+
+    // Table arenas: small tables homed with their owner, large ones
+    // striped across processors (the static version's slices are then
+    // local to their workers).
+    tableAddr_.resize(tree_.cliques.size());
+    for (std::size_t c = 0; c < tree_.cliques.size(); ++c) {
+        const std::uint64_t bytes =
+            tree_.cliques[c].table.size() * 8;
+        tableAddr_[c] = m.alloc(bytes);
+        if (bytes / 128 >= static_cast<std::uint64_t>(nprocs_))
+            m.placeAcrossProcs(tableAddr_[c], bytes);
+        else
+            m.place(tableAddr_[c], bytes,
+                    m.topology().nodeOfProcess(owner_[c]));
+    }
+    bar_ = m.barrierCreate();
+    queues_ = std::make_unique<TaskQueues>(m, nprocs_);
+}
+
+Machine::Program
+InferApp::program()
+{
+    const InferConfig cfg = cfg_;
+    const BarrierId bar = bar_;
+    TaskQueues* queues = queues_.get();
+    const auto* tree = &tree_;
+    const auto* table_addr = &tableAddr_;
+    const auto* owner = &owner_;
+    const auto* levels = &levels_;
+
+    return [=](Cpu& cpu) -> Task {
+        const int P = cpu.nprocs();
+        const int p = cpu.id();
+
+        // Number of dynamic chunks a clique's table is split into.
+        auto chunks_of = [&](int c) {
+            const std::uint64_t lines =
+                (tree->cliques[c].table.size() * 8 + 127) / 128;
+            return static_cast<int>(
+                std::min<std::uint64_t>(kMaxChunks,
+                                        std::max<std::uint64_t>(
+                                            1, lines / 16)));
+        };
+
+        // Touch a clique table: slice [num/den, (num+1)/den), read+write.
+        auto touch_table = [&](int c, int num, int den) -> Task {
+            const auto& cl = tree->cliques[c];
+            const std::uint64_t lines =
+                (cl.table.size() * 8 + 127) / 128;
+            const std::uint64_t lo = lines * num / den;
+            const std::uint64_t hi = lines * (num + 1) / den;
+            for (std::uint64_t l = lo; l < hi; ++l) {
+                cpu.read((*table_addr)[c] + l * 128);
+                cpu.busy(16 * cfg.cyclesPerEntry);
+                cpu.write((*table_addr)[c] + l * 128);
+                if ((l - lo) % 16 == 15)
+                    co_await cpu.nestedCheckpoint();
+            }
+            co_return;
+        };
+
+        // Two sweeps: collect (deepest level first), then distribute.
+        const int nlevels = static_cast<int>(levels->size());
+        for (int sweep = 0; sweep < 2; ++sweep) {
+            for (int li = 0; li < nlevels; ++li) {
+                const int lvl =
+                    sweep == 0 ? nlevels - 1 - li : li;
+                const auto& cliques = (*levels)[lvl];
+
+                if (!cfg.staticWithinClique) {
+                    // Dynamic: work chunks (cliques, or pieces of large
+                    // cliques) seeded at static owners; idle processors
+                    // steal -- the original version exploits
+                    // parallelism both across and within cliques.
+                    if (p == 0) {
+                        for (const int c : cliques) {
+                            const int nch = chunks_of(c);
+                            for (int k = 0; k < nch; ++k)
+                                queues->push((*owner)[c],
+                                             c * kMaxChunks + k);
+                        }
+                    }
+                    co_await cpu.barrier(bar);
+                    for (;;) {
+                        int task;
+                        CCNUMA_RUN_NESTED(cpu,
+                                          queues->dequeue(cpu, task));
+                        if (task < 0)
+                            break;
+                        const int c = task / kMaxChunks;
+                        const int k = task % kMaxChunks;
+                        // Read the parent message interface, then our
+                        // chunk of the table (scattered: a stealer has
+                        // no locality here).
+                        const int par = tree->cliques[c].parent;
+                        if (par >= 0)
+                            cpu.read((*table_addr)[par]);
+                        CCNUMA_RUN_NESTED(
+                            cpu, touch_table(c, k, chunks_of(c)));
+                        co_await cpu.checkpoint();
+                    }
+                    co_await cpu.barrier(bar);
+                } else {
+                    // Static: every processor works on its slice of
+                    // each large clique; small cliques go to their
+                    // static owner. Locality: our slice of the parent
+                    // table is homed with us.
+                    for (const int c : cliques) {
+                        const auto& cl = tree->cliques[c];
+                        const std::uint64_t lines =
+                            (cl.table.size() * 8 + 127) / 128;
+                        if (lines >= static_cast<std::uint64_t>(P)) {
+                            CCNUMA_RUN_NESTED(cpu,
+                                              touch_table(c, p, P));
+                        } else if ((*owner)[c] == p) {
+                            const int par = tree->cliques[c].parent;
+                            if (par >= 0)
+                                cpu.read((*table_addr)[par]);
+                            CCNUMA_RUN_NESTED(cpu,
+                                              touch_table(c, 0, 1));
+                        }
+                        co_await cpu.checkpoint();
+                    }
+                    co_await cpu.barrier(bar);
+                }
+            }
+        }
+        co_return;
+    };
+}
+
+} // namespace ccnuma::apps

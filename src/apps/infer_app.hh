@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Infer skeleton: clique-tree belief propagation (CPCS-422-style
+ * network). Original version exploits parallelism across cliques with
+ * a dynamic shared work queue (great at 32p, communication-scattered
+ * at scale); the restructured version uses static partitioning that
+ * exploits parallelism only *within* each clique, maximizing locality
+ * across the parent/child interface.
+ */
+
+#ifndef CCNUMA_APPS_INFER_APP_HH
+#define CCNUMA_APPS_INFER_APP_HH
+
+#include <memory>
+#include <vector>
+
+#include "apps/app.hh"
+#include "apps/taskqueue.hh"
+#include "kernels/bayes.hh"
+
+namespace ccnuma::apps {
+
+struct InferConfig {
+    int numCliques = 422;     ///< CPCS-422.
+    int maxVars = 14;         ///< Largest clique: 2^14 entries.
+    bool staticWithinClique = false; ///< The restructured version.
+    sim::Cycles cyclesPerEntry = 170;
+    std::uint64_t seed = 23;
+};
+
+class InferApp : public App
+{
+    static constexpr int kMaxChunks = 64;
+
+  public:
+    explicit InferApp(const InferConfig& cfg) : cfg_(cfg) {}
+
+    std::string name() const override
+    {
+        return cfg_.staticWithinClique ? "infer-static" : "infer";
+    }
+    void setup(sim::Machine& m) override;
+    sim::Machine::Program program() override;
+
+  private:
+    InferConfig cfg_;
+    int nprocs_ = 0;
+    kernels::CliqueTree tree_;
+    std::vector<sim::Addr> tableAddr_;  ///< Clique -> table arena.
+    std::vector<int> owner_;            ///< Clique -> static owner.
+    std::vector<std::vector<int>> levels_; ///< Depth -> cliques.
+    sim::BarrierId bar_;
+    std::unique_ptr<TaskQueues> queues_; ///< Dynamic work stealing.
+};
+
+} // namespace ccnuma::apps
+
+#endif // CCNUMA_APPS_INFER_APP_HH

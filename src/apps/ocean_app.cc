@@ -1,0 +1,112 @@
+#include "apps/ocean_app.hh"
+
+#include <cmath>
+
+namespace ccnuma::apps {
+
+using namespace sim;
+
+std::pair<int, int>
+OceanApp::tileGeometry(int nprocs, bool rowwise)
+{
+    if (rowwise)
+        return {nprocs, 1};
+    int pr = static_cast<int>(std::sqrt(static_cast<double>(nprocs)));
+    while (nprocs % pr != 0)
+        --pr;
+    return {pr, nprocs / pr};
+}
+
+void
+OceanApp::setup(Machine& m)
+{
+    nprocs_ = m.config().numProcs;
+    std::tie(pr_, pc_) = tileGeometry(nprocs_, cfg_.rowwise);
+    arena_.resize(nprocs_);
+    h_.resize(nprocs_);
+    w_.resize(nprocs_);
+    for (int p = 0; p < nprocs_; ++p) {
+        const int ti = p / pc_, tj = p % pc_;
+        const auto [rb, re] = blockRange(cfg_.n, pr_, ti);
+        const auto [cb, ce] = blockRange(cfg_.n, pc_, tj);
+        h_[p] = re - rb;
+        w_[p] = ce - cb;
+        const std::uint64_t bytes =
+            kGrids * (h_[p] + 2) * (w_[p] + 2) * 8;
+        arena_[p] = m.alloc(bytes);
+        m.place(arena_[p], bytes, m.topology().nodeOfProcess(p));
+    }
+    bar_ = m.barrierCreate();
+}
+
+Machine::Program
+OceanApp::program()
+{
+    const OceanConfig cfg = cfg_;
+    const int pr = pr_, pc = pc_;
+    const auto arena = arena_; // copies for capture
+    const auto h = h_, w = w_;
+    const BarrierId bar = bar_;
+
+    return [cfg, pr, pc, arena, h, w, bar](Cpu& cpu) -> Task {
+        const int p = cpu.id();
+        const int ti = p / pc, tj = p % pc;
+        const std::uint64_t myh = h[p], myw = w[p];
+        // Line address of (grid g, row i, col j) in proc q's block;
+        // doubles are 8 bytes, 16 per line.
+        auto cell = [&](int q, int g, std::uint64_t i, std::uint64_t j) {
+            return arena[q] +
+                   (static_cast<Addr>(g) * (h[q] + 2) * (w[q] + 2) +
+                    i * (w[q] + 2) + j) *
+                       8;
+        };
+        const int north = ti > 0 ? (ti - 1) * pc + tj : -1;
+        const int south = ti + 1 < pr ? (ti + 1) * pc + tj : -1;
+        const int west = tj > 0 ? ti * pc + tj - 1 : -1;
+        const int east = tj + 1 < pc ? ti * pc + tj + 1 : -1;
+
+        for (int it = 0; it < cfg.iterations; ++it) {
+            for (int color = 0; color < 2; ++color) {
+                // Fetch boundary rows from north/south neighbors:
+                // contiguous lines along their edge rows.
+                if (north >= 0)
+                    for (std::uint64_t j = 1; j <= myw; j += 16)
+                        cpu.read(cell(north, 0, h[north], j));
+                if (south >= 0)
+                    for (std::uint64_t j = 1; j <= myw; j += 16)
+                        cpu.read(cell(south, 0, 1, j));
+                co_await cpu.checkpoint();
+                // East/west boundary columns: one line per row
+                // (fragmentation -- only 8 useful bytes per line).
+                if (west >= 0)
+                    for (std::uint64_t i = 1; i <= myh; ++i) {
+                        cpu.read(cell(west, 0, i, w[west]));
+                        if (i % 32 == 0)
+                            co_await cpu.checkpoint();
+                    }
+                if (east >= 0)
+                    for (std::uint64_t i = 1; i <= myh; ++i) {
+                        cpu.read(cell(east, 0, i, 1));
+                        if (i % 32 == 0)
+                            co_await cpu.checkpoint();
+                    }
+                co_await cpu.checkpoint();
+                // Interior sweep over our own block (half the points
+                // per color): row-wise line reads + writes + compute.
+                for (std::uint64_t i = 1; i <= myh; ++i) {
+                    for (std::uint64_t j = 1; j <= myw; j += 16) {
+                        cpu.read(cell(p, 0, i, j));
+                        cpu.read(cell(p, 1, i, j)); // rhs grid
+                        cpu.busy(8 * cfg.cyclesPerPoint);
+                        cpu.write(cell(p, 0, i, j));
+                    }
+                    co_await cpu.checkpoint();
+                }
+                co_await cpu.barrier(bar);
+            }
+        }
+        co_return;
+    };
+}
+
+} // namespace ccnuma::apps

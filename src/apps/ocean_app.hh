@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ocean skeleton: red-black SOR sweeps over an n x n grid with
+ * nearest-neighbor communication. Partitions are per-processor
+ * contiguous blocks (SPLASH-2 Ocean's 4-D array layout): tiled
+ * (near-square subgrids, less inherent communication) or rowwise
+ * (strips; no column fragmentation -- the paper's SVM restructuring).
+ */
+
+#ifndef CCNUMA_APPS_OCEAN_APP_HH
+#define CCNUMA_APPS_OCEAN_APP_HH
+
+#include <vector>
+
+#include "apps/app.hh"
+
+namespace ccnuma::apps {
+
+struct OceanConfig {
+    std::uint64_t n = 1026;   ///< Grid side (interior n-2).
+    int iterations = 6;       ///< Red-black sweeps simulated.
+    bool rowwise = false;     ///< Rowwise strips instead of tiles.
+    sim::Cycles cyclesPerPoint = 24;
+};
+
+class OceanApp : public App
+{
+  public:
+    explicit OceanApp(const OceanConfig& cfg) : cfg_(cfg) {}
+
+    std::string name() const override
+    {
+        return cfg_.rowwise ? "ocean-rowwise" : "ocean";
+    }
+    void setup(sim::Machine& m) override;
+    sim::Machine::Program program() override;
+
+    /// Process grid geometry: pr x pc factorization of P.
+    static std::pair<int, int> tileGeometry(int nprocs, bool rowwise);
+
+  private:
+    OceanConfig cfg_;
+    int nprocs_ = 0;
+    int pr_ = 1, pc_ = 1;
+    /// arena_[p]: contiguous block of proc p, (h+2)x(w+2) doubles for
+    /// kGrids grids.
+    std::vector<sim::Addr> arena_;
+    std::vector<std::uint64_t> h_, w_;
+    sim::BarrierId bar_;
+
+    static constexpr int kGrids = 2;
+};
+
+} // namespace ccnuma::apps
+
+#endif // CCNUMA_APPS_OCEAN_APP_HH

@@ -1,0 +1,127 @@
+#include "apps/protein_app.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccnuma::apps {
+
+using namespace sim;
+
+void
+ProteinApp::setup(Machine& m)
+{
+    nprocs_ = m.config().numProcs;
+    tree_ = kernels::helixTree(cfg_.leaves, cfg_.workPerLeaf,
+                               cfg_.seed);
+
+    int max_depth = 0;
+    for (const auto& nd : tree_.nodes)
+        max_depth = std::max(max_depth, nd.depth);
+    levels_.assign(max_depth + 1, {});
+    for (std::size_t i = 0; i < tree_.nodes.size(); ++i)
+        levels_[tree_.nodes[i].depth].push_back(static_cast<int>(i));
+
+    // Per-level processor groups.
+    //  - With regrouping: ALL processors re-split across the level's
+    //    nodes proportionally to their (noisy) estimates -- idle groups
+    //    have joined working ones.
+    //  - Without: groups are fixed by the root-level split; a node deep
+    //    in a light subtree keeps only its subtree's processors and the
+    //    rest idle at the level barrier.
+    groups_.assign(levels_.size(), {});
+    for (std::size_t d = 0; d < levels_.size(); ++d) {
+        const auto& nodes = levels_[d];
+        const int n = static_cast<int>(nodes.size());
+        std::vector<std::pair<int, int>>& g = groups_[d];
+        g.resize(n);
+        if (n >= nprocs_) {
+            // More nodes than processors: one processor per node,
+            // spread evenly.
+            for (int i = 0; i < n; ++i)
+                g[i] = {i * nprocs_ / n, 1};
+        } else if (cfg_.regroup) {
+            // Proportional split of all processors by estimate.
+            std::uint64_t total = 0;
+            for (const int nd : nodes)
+                total += tree_.nodes[nd].estimate;
+            int start = 0;
+            for (int i = 0; i < n; ++i) {
+                int sz = static_cast<int>(
+                    static_cast<double>(tree_.nodes[nodes[i]].estimate) /
+                    total * nprocs_);
+                sz = std::max(1, sz);
+                if (start + sz > nprocs_ || i == n - 1)
+                    sz = std::max(1, nprocs_ - start);
+                g[i] = {std::min(start, nprocs_ - 1), sz};
+                start = std::min(start + sz, nprocs_);
+            }
+        } else {
+            // Fixed: inherit a fraction of the parent's group.
+            for (int i = 0; i < n; ++i) {
+                const auto [b, e] = blockRange(nprocs_, n, i);
+                g[i] = {static_cast<int>(b),
+                        std::max(1, static_cast<int>(e - b))};
+            }
+        }
+    }
+
+    nodeAddr_.resize(tree_.nodes.size());
+    for (std::size_t i = 0; i < tree_.nodes.size(); ++i) {
+        nodeAddr_[i] = m.alloc(64 * 128); // substructure state
+        m.place(nodeAddr_[i], 64 * 128,
+                m.topology().nodeOfProcess(groups_[tree_.nodes[i]
+                                                       .depth][0]
+                                               .first));
+    }
+    bar_ = m.barrierCreate();
+}
+
+Machine::Program
+ProteinApp::program()
+{
+    const BarrierId bar = bar_;
+    const auto* tree = &tree_;
+    const auto* levels = &levels_;
+    const auto* groups = &groups_;
+    const auto* node_addr = &nodeAddr_;
+
+    return [=](Cpu& cpu) -> Task {
+        const int p = cpu.id();
+        // Process levels bottom-up; each level ends in a barrier (the
+        // regrouping point).
+        for (int d = static_cast<int>(levels->size()) - 1; d >= 0;
+             --d) {
+            const auto& nodes = (*levels)[d];
+            for (std::size_t i = 0; i < nodes.size(); ++i) {
+                const auto [gstart, gsize] = (*groups)[d][i];
+                if (p < gstart || p >= gstart + gsize)
+                    continue;
+                const int nd = nodes[i];
+                // Read children's results (cross-node dependences).
+                for (const int ch : tree->nodes[nd].children) {
+                    for (int l = 0; l < 64; l += 8)
+                        cpu.read((*node_addr)[ch] +
+                                 static_cast<Addr>(l) * 128);
+                    co_await cpu.checkpoint();
+                }
+                // Our share of the node's parallelizable work, with
+                // periodic accesses to the shared substructure state.
+                const std::uint64_t my_work =
+                    tree->nodes[nd].work / gsize;
+                const std::uint64_t chunks = my_work / 2000 + 1;
+                for (std::uint64_t c = 0; c < chunks; ++c) {
+                    cpu.busy(std::min<std::uint64_t>(2000, my_work));
+                    cpu.read((*node_addr)[nd] +
+                             ((p + c) % 64) * 128);
+                    co_await cpu.checkpoint();
+                }
+                // Publish our slice of the result.
+                cpu.write((*node_addr)[nd] + (p % 64) * 128);
+            }
+            co_await cpu.barrier(bar);
+        }
+        co_return;
+    };
+}
+
+} // namespace ccnuma::apps

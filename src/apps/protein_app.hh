@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Protein skeleton: a hierarchical dependency tree of substructure
+ * nodes, each containing parallelizable work. Nodes are assigned to
+ * processor groups by estimated workload; with *process regrouping*
+ * (the application's contribution), a group that runs out of ready
+ * work joins a working group instead of idling.
+ */
+
+#ifndef CCNUMA_APPS_PROTEIN_APP_HH
+#define CCNUMA_APPS_PROTEIN_APP_HH
+
+#include <vector>
+
+#include "apps/app.hh"
+#include "kernels/protein.hh"
+
+namespace ccnuma::apps {
+
+struct ProteinConfig {
+    int leaves = 16;           ///< helix16.
+    std::uint64_t workPerLeaf = 3'000'000; ///< Cycles per leaf node.
+    bool regroup = true;       ///< Process regrouping on/off.
+    std::uint64_t seed = 31;
+};
+
+class ProteinApp : public App
+{
+  public:
+    explicit ProteinApp(const ProteinConfig& cfg) : cfg_(cfg) {}
+
+    std::string name() const override
+    {
+        return cfg_.regroup ? "protein" : "protein-noregroup";
+    }
+    void setup(sim::Machine& m) override;
+    sim::Machine::Program program() override;
+
+  private:
+    ProteinConfig cfg_;
+    int nprocs_ = 0;
+    kernels::ProteinTree tree_;
+    std::vector<std::vector<int>> levels_;   ///< Depth -> nodes.
+    /// Per level, node -> (groupStart, groupSize) processor ranges.
+    std::vector<std::vector<std::pair<int, int>>> groups_;
+    std::vector<sim::Addr> nodeAddr_;
+    sim::BarrierId bar_;
+};
+
+} // namespace ccnuma::apps
+
+#endif // CCNUMA_APPS_PROTEIN_APP_HH

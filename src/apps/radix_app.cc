@@ -1,0 +1,161 @@
+#include "apps/radix_app.hh"
+
+#include <numeric>
+
+#include "kernels/sort.hh"
+
+namespace ccnuma::apps {
+
+using namespace sim;
+
+namespace {
+constexpr std::uint64_t kKeysPerLine = 32; // 4-byte keys, 128 B lines
+} // namespace
+
+void
+RadixApp::setup(Machine& m)
+{
+    nprocs_ = m.config().numProcs;
+    const std::uint64_t bytes = cfg_.numKeys * 4;
+    keysA_ = m.alloc(bytes);
+    keysB_ = m.alloc(bytes);
+    m.placeAcrossProcs(keysA_, bytes);
+    m.placeAcrossProcs(keysB_, bytes);
+    // Per-proc histogram arena: one page per processor.
+    hists_ = m.alloc(static_cast<std::uint64_t>(nprocs_) *
+                     m.config().pageBytes);
+    m.placeAcrossProcs(hists_,
+                       static_cast<std::uint64_t>(nprocs_) *
+                           m.config().pageBytes);
+    bar_ = m.barrierCreate();
+
+    // Host-side: run the real radix passes to obtain per-proc,
+    // per-digit counts for each pass (drives permutation addressing and
+    // captures real load imbalance).
+    auto keys = kernels::randomKeys(cfg_.numKeys, cfg_.seed);
+    counts_.resize(cfg_.passes);
+    const int radix = 1 << cfg_.radixBits;
+    std::vector<std::uint32_t> next;
+    for (int pass = 0; pass < cfg_.passes; ++pass) {
+        counts_[pass].assign(nprocs_,
+                             std::vector<std::uint32_t>(radix, 0));
+        for (int p = 0; p < nprocs_; ++p) {
+            const auto [b, e] = blockRange(cfg_.numKeys, nprocs_, p);
+            for (std::uint64_t i = b; i < e; ++i)
+                ++counts_[pass][p]
+                         [(keys[i] >> (pass * cfg_.radixBits)) &
+                          (radix - 1)];
+        }
+        kernels::radixPass(keys, next, pass * cfg_.radixBits,
+                           cfg_.radixBits);
+        keys.swap(next);
+    }
+}
+
+Machine::Program
+RadixApp::program()
+{
+    const RadixConfig cfg = cfg_;
+    const Addr keysA = keysA_, keysB = keysB_, hists = hists_;
+    const BarrierId bar = bar_;
+    const auto* counts = &counts_;
+    const std::uint32_t page = 16384;
+
+    return [cfg, keysA, keysB, hists, bar, counts, page](
+               Cpu& cpu) -> Task {
+        const int P = cpu.nprocs();
+        const int p = cpu.id();
+        const int radix = 1 << cfg.radixBits;
+        const auto [key_b, key_e] = blockRange(cfg.numKeys, P, p);
+        const std::uint64_t hist_lines =
+            (static_cast<std::uint64_t>(radix) * 8 + 127) / 128;
+        auto hist_line = [&](int proc, std::uint64_t l) {
+            return hists + static_cast<Addr>(proc) * page + l * 128;
+        };
+
+        Addr src = keysA, dst = keysB;
+        for (int pass = 0; pass < cfg.passes; ++pass) {
+            // --- Phase 1: local histogram over our key block. ---
+            for (Addr a = src + key_b * 4; a < src + key_e * 4;
+                 a += 128) {
+                cpu.read(a);
+                cpu.busy(kKeysPerLine * cfg.cyclesPerKey);
+                co_await cpu.checkpoint();
+            }
+            for (std::uint64_t l = 0; l < hist_lines; ++l)
+                cpu.write(hist_line(p, l));
+            co_await cpu.barrier(bar);
+
+            // --- Phase 2: parallel prefix over histograms (tree). ---
+            for (int stride = 1; stride < P; stride *= 2) {
+                const int partner = p ^ stride;
+                if (partner < P) {
+                    for (std::uint64_t l = 0; l < hist_lines; ++l) {
+                        if (cfg.prefetchHist && l + 1 < hist_lines)
+                            cpu.prefetch(hist_line(partner, l + 1));
+                        cpu.read(hist_line(partner, l));
+                    }
+                    cpu.busy(radix * 2);
+                    for (std::uint64_t l = 0; l < hist_lines; ++l)
+                        cpu.write(hist_line(p, l));
+                }
+                co_await cpu.barrier(bar);
+            }
+
+            // --- Phase 3: permutation. Keys stream from our block and
+            // scatter into 2^bits open destination chunks; a simulated
+            // write is issued each time a chunk cursor enters a new
+            // line (write-allocate + later writeback traffic). ---
+            const auto& my_counts = (*counts)[pass][p];
+            // Global start offset of our chunk for each digit.
+            std::vector<std::uint64_t> cursor(radix, 0);
+            {
+                std::uint64_t digit_base = 0;
+                for (int d = 0; d < radix; ++d) {
+                    std::uint64_t mine = digit_base;
+                    for (int q = 0; q < p; ++q)
+                        mine += (*counts)[pass][q][d];
+                    cursor[d] = mine;
+                    for (int q = 0; q < P; ++q)
+                        digit_base += (*counts)[pass][q][d];
+                }
+            }
+            // Walk digits round-robin to interleave chunk streams the
+            // way in-order key processing does (keys of different
+            // digits alternate), issuing one write per line crossed.
+            std::vector<std::uint32_t> remaining = my_counts;
+            std::uint64_t src_cursor = key_b;
+            std::uint64_t src_pending = 0;
+            bool any = true;
+            while (any) {
+                any = false;
+                for (int d = 0; d < radix; ++d) {
+                    if (remaining[d] == 0)
+                        continue;
+                    any = true;
+                    const std::uint32_t take =
+                        std::min<std::uint32_t>(remaining[d],
+                                                kKeysPerLine);
+                    cpu.busy(take * cfg.cyclesPerKey);
+                    cpu.write(dst + cursor[d] * 4);
+                    // Source keys stream in sequentially.
+                    src_pending += take;
+                    while (src_pending >= kKeysPerLine &&
+                           src_cursor < key_e) {
+                        cpu.read(src + src_cursor * 4);
+                        src_cursor += kKeysPerLine;
+                        src_pending -= kKeysPerLine;
+                    }
+                    cursor[d] += take;
+                    remaining[d] -= take;
+                }
+                co_await cpu.checkpoint();
+            }
+            co_await cpu.barrier(bar);
+            std::swap(src, dst);
+        }
+        co_return;
+    };
+}
+
+} // namespace ccnuma::apps

@@ -1,0 +1,192 @@
+#include "apps/registry.hh"
+
+#include <bit>
+#include <stdexcept>
+
+#include "apps/barnes_app.hh"
+#include "apps/fft_app.hh"
+#include "apps/infer_app.hh"
+#include "apps/ocean_app.hh"
+#include "apps/protein_app.hh"
+#include "apps/radix_app.hh"
+#include "apps/raytrace_app.hh"
+#include "apps/samplesort_app.hh"
+#include "apps/shearwarp_app.hh"
+#include "apps/volrend_app.hh"
+#include "apps/water_app.hh"
+
+namespace ccnuma::apps {
+
+std::uint64_t
+basicSize(const std::string& name)
+{
+    if (name.rfind("fft", 0) == 0)
+        return 1u << 20; // 2^20 points (Table 2)
+    if (name.rfind("ocean", 0) == 0)
+        return 1026; // 1026x1026 grids
+    if (name.rfind("radix", 0) == 0 || name.rfind("samplesort", 0) == 0)
+        return 1u << 22; // 4M keys
+    if (name.rfind("barnes", 0) == 0)
+        return 16384; // 16K bodies
+    if (name.rfind("water-nsq", 0) == 0)
+        return 4096; // molecules
+    if (name.rfind("water-spatial", 0) == 0)
+        return 4096;
+    if (name.rfind("raytrace", 0) == 0)
+        return 128; // 128x128 image (ball)
+    if (name.rfind("volrend", 0) == 0)
+        return 256; // 256^3 head
+    if (name.rfind("shearwarp", 0) == 0)
+        return 256; // 256^3 head
+    if (name.rfind("infer", 0) == 0)
+        return 422; // CPCS-422
+    if (name.rfind("protein", 0) == 0)
+        return 16; // helix16
+    throw std::invalid_argument("unknown app: " + name);
+}
+
+std::string
+sizeUnit(const std::string& name)
+{
+    if (name.rfind("fft", 0) == 0)
+        return "points";
+    if (name.rfind("ocean", 0) == 0)
+        return "grid";
+    if (name.rfind("radix", 0) == 0 || name.rfind("samplesort", 0) == 0)
+        return "keys";
+    if (name.rfind("barnes", 0) == 0)
+        return "bodies";
+    if (name.rfind("water", 0) == 0)
+        return "molecules";
+    if (name.rfind("raytrace", 0) == 0)
+        return "image side";
+    if (name.rfind("volrend", 0) == 0 || name.rfind("shearwarp", 0) == 0)
+        return "volume side";
+    if (name.rfind("infer", 0) == 0)
+        return "cliques";
+    if (name.rfind("protein", 0) == 0)
+        return "helix leaves";
+    return "size";
+}
+
+AppPtr
+makeApp(const std::string& name, std::uint64_t size)
+{
+    if (size == 0)
+        size = basicSize(name);
+
+    if (name == "fft" || name == "fft-nostagger" ||
+        name == "fft-prefetch" || name == "fft-implicit") {
+        FftConfig c;
+        c.logPoints = std::bit_width(size) - 1;
+        if (c.logPoints % 2)
+            ++c.logPoints;
+        c.stagger = name != "fft-nostagger";
+        c.prefetch = name == "fft-prefetch";
+        c.implicitTranspose = name == "fft-implicit";
+        return std::make_unique<FftApp>(c);
+    }
+    if (name == "ocean" || name == "ocean-rowwise") {
+        OceanConfig c;
+        c.n = size;
+        c.rowwise = name == "ocean-rowwise";
+        return std::make_unique<OceanApp>(c);
+    }
+    if (name == "radix" || name == "radix-prefetch") {
+        RadixConfig c;
+        c.numKeys = size;
+        c.prefetchHist = name == "radix-prefetch";
+        return std::make_unique<RadixApp>(c);
+    }
+    if (name == "samplesort" || name == "samplesort-prefetch") {
+        SampleSortConfig c;
+        c.numKeys = size;
+        c.prefetchCopy = name == "samplesort-prefetch";
+        return std::make_unique<SampleSortApp>(c);
+    }
+    if (name.rfind("barnes", 0) == 0) {
+        BarnesConfig c;
+        c.numBodies = size;
+        c.variant = name == "barnes-mergetree" ? BarnesVariant::MergeTree
+                    : name == "barnes-spatial" ? BarnesVariant::Spatial
+                                               : BarnesVariant::Original;
+        return std::make_unique<BarnesApp>(c);
+    }
+    if (name == "water-nsq" || name == "water-nsq-interchanged") {
+        WaterNsqConfig c;
+        c.numMols = size;
+        c.interchanged = name == "water-nsq-interchanged";
+        return std::make_unique<WaterNsqApp>(c);
+    }
+    if (name == "water-spatial") {
+        WaterSpConfig c;
+        c.numMols = size;
+        return std::make_unique<WaterSpApp>(c);
+    }
+    if (name == "raytrace" || name == "raytrace-nostatslock") {
+        RaytraceConfig c;
+        c.imageSide = static_cast<int>(size);
+        c.statsLock = name == "raytrace";
+        return std::make_unique<RaytraceApp>(c);
+    }
+    if (name == "volrend" || name == "volrend-balanced") {
+        VolrendConfig c;
+        c.volDim = static_cast<int>(size);
+        c.balancedInit = name == "volrend-balanced";
+        return std::make_unique<VolrendApp>(c);
+    }
+    if (name == "shearwarp" || name == "shearwarp-locality") {
+        ShearWarpConfig c;
+        c.volDim = static_cast<int>(size);
+        c.restructured = name == "shearwarp-locality";
+        return std::make_unique<ShearWarpApp>(c);
+    }
+    if (name == "infer" || name == "infer-static") {
+        InferConfig c;
+        c.numCliques = static_cast<int>(size);
+        c.staticWithinClique = name == "infer-static";
+        return std::make_unique<InferApp>(c);
+    }
+    if (name == "protein" || name == "protein-noregroup") {
+        ProteinConfig c;
+        c.leaves = static_cast<int>(size);
+        c.regroup = name == "protein";
+        return std::make_unique<ProteinApp>(c);
+    }
+    throw std::invalid_argument("unknown app: " + name);
+}
+
+const std::vector<std::string>&
+originalApps()
+{
+    static const std::vector<std::string> names = {
+        "barnes", "infer",       "fft",     "ocean",
+        "protein", "radix",      "raytrace", "shearwarp",
+        "volrend", "water-nsq",  "water-spatial",
+    };
+    return names;
+}
+
+std::string
+restructuredVariant(const std::string& original)
+{
+    if (original == "barnes")
+        return "barnes-spatial";
+    if (original == "radix")
+        return "samplesort";
+    if (original == "water-nsq")
+        return "water-nsq-interchanged";
+    if (original == "shearwarp")
+        return "shearwarp-locality";
+    if (original == "infer")
+        return "infer-static";
+    if (original == "raytrace")
+        return "raytrace-nostatslock";
+    if (original == "volrend")
+        return "volrend-balanced";
+    if (original == "ocean")
+        return "ocean-rowwise";
+    return "";
+}
+
+} // namespace ccnuma::apps

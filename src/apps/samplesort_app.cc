@@ -1,0 +1,126 @@
+#include "apps/samplesort_app.hh"
+
+#include <algorithm>
+
+#include "kernels/sort.hh"
+
+namespace ccnuma::apps {
+
+using namespace sim;
+
+namespace {
+constexpr std::uint64_t kKeysPerLine = 32;
+} // namespace
+
+void
+SampleSortApp::setup(Machine& m)
+{
+    nprocs_ = m.config().numProcs;
+    const std::uint64_t bytes = cfg_.numKeys * 4;
+    keys_ = m.alloc(bytes);
+    recv_ = m.alloc(bytes * 2); // buckets are uneven; slack space
+    splitters_ = m.alloc(m.config().pageBytes);
+    m.placeAcrossProcs(keys_, bytes);
+    m.placeAcrossProcs(recv_, bytes * 2);
+    m.place(splitters_, m.config().pageBytes, 0);
+    bar_ = m.barrierCreate();
+
+    // Host: real keys, real splitters, real per-(source, bucket) counts.
+    const auto keys = kernels::randomKeys(cfg_.numKeys, cfg_.seed);
+    const auto split =
+        kernels::sampleSplitters(keys, nprocs_, 64, cfg_.seed + 1);
+    seg_.assign(nprocs_, std::vector<std::uint32_t>(nprocs_, 0));
+    for (int q = 0; q < nprocs_; ++q) {
+        const auto [b, e] = blockRange(cfg_.numKeys, nprocs_, q);
+        for (std::uint64_t i = b; i < e; ++i)
+            ++seg_[q][kernels::bucketOf(keys[i], split)];
+    }
+}
+
+Machine::Program
+SampleSortApp::program()
+{
+    const SampleSortConfig cfg = cfg_;
+    const Addr keys = keys_, recv = recv_, splitters = splitters_;
+    const BarrierId bar = bar_;
+    const auto* seg = &seg_;
+
+    return [cfg, keys, recv, splitters, bar, seg](Cpu& cpu) -> Task {
+        const int P = cpu.nprocs();
+        const int p = cpu.id();
+        const auto [key_b, key_e] = blockRange(cfg.numKeys, P, p);
+        const std::uint64_t my_keys = key_e - key_b;
+
+        // ---- local radix sort over our block ----
+        auto local_sort = [&](Addr base, std::uint64_t b,
+                              std::uint64_t count) -> Task {
+            for (int pass = 0; pass < cfg.localPasses; ++pass) {
+                for (std::uint64_t i = 0; i < count;
+                     i += kKeysPerLine) {
+                    cpu.read(base + (b + i) * 4);
+                    cpu.busy(kKeysPerLine * cfg.cyclesPerKey);
+                    cpu.write(base + (b + i) * 4);
+                    if ((i / kKeysPerLine) % 16 == 15)
+                        co_await cpu.nestedCheckpoint();
+                }
+                co_await cpu.nestedCheckpoint();
+            }
+            co_return;
+        };
+
+        CCNUMA_RUN_NESTED(cpu, local_sort(keys, key_b, my_keys));
+        co_await cpu.barrier(bar);
+
+        // ---- splitter phase: everyone publishes samples; proc 0
+        // sorts them and writes the splitters. ----
+        cpu.write(splitters + 128 + static_cast<Addr>(p) * 4);
+        co_await cpu.barrier(bar);
+        if (p == 0) {
+            for (int q = 0; q < P; q += 32)
+                cpu.read(splitters + 128 + static_cast<Addr>(q) * 4);
+            cpu.busy(static_cast<Cycles>(P) * 64 * 8); // sort samples
+            cpu.write(splitters);
+        }
+        co_await cpu.barrier(bar);
+        cpu.read(splitters);
+        cpu.busy(my_keys / 8); // binary-search bucket boundaries
+
+        co_await cpu.barrier(bar);
+
+        // ---- copy phase: fetch our bucket from every source proc's
+        // sorted block with contiguous (stride-1) remote reads. ----
+        const auto [rb, re] = blockRange(cfg.numKeys * 2, P, p);
+        Addr out = recv + rb * 4;
+        std::uint64_t received = 0;
+        for (int k = 1; k <= P; ++k) {
+            const int q = (p + k) % P; // staggered source order
+            const auto [qb, qe] = blockRange(cfg.numKeys, P, q);
+            (void)qe;
+            // Offset of bucket p within q's sorted block.
+            std::uint64_t off = 0;
+            for (int b = 0; b < p; ++b)
+                off += (*seg)[q][b];
+            const std::uint64_t cnt = (*seg)[q][p];
+            for (std::uint64_t i = 0; i < cnt; i += kKeysPerLine) {
+                if (cfg.prefetchCopy && i + 4 * kKeysPerLine < cnt)
+                    cpu.prefetch(keys +
+                                 (qb + off + i + 4 * kKeysPerLine) * 4);
+                cpu.read(keys + (qb + off + i) * 4);
+                cpu.busy(kKeysPerLine * 2);
+                cpu.write(out + (received + i) * 4);
+                if ((i / kKeysPerLine) % 16 == 15)
+                    co_await cpu.checkpoint();
+            }
+            received += cnt;
+            co_await cpu.checkpoint();
+        }
+        co_await cpu.barrier(bar);
+
+        // ---- second local sort over what we received ----
+        CCNUMA_RUN_NESTED(cpu, local_sort(recv, rb, received));
+        co_await cpu.barrier(bar);
+        co_return;
+    };
+}
+
+} // namespace ccnuma::apps

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Distributed task queues with stealing, shared by the graphics
+ * applications (Raytrace, Volrend, Shear-Warp's original version).
+ *
+ * Host-side state is shared between the (single-threaded) simulated
+ * processors; timing realism comes from the per-queue sim locks that
+ * guard every dequeue/steal.
+ */
+
+#ifndef CCNUMA_APPS_TASKQUEUE_HH
+#define CCNUMA_APPS_TASKQUEUE_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace ccnuma::apps {
+
+/** Per-processor task queues over integer task ids. */
+class TaskQueues
+{
+  public:
+    /// Create `nprocs` queues with their sim locks on `m`.
+    TaskQueues(sim::Machine& m, int nprocs) : queues_(nprocs)
+    {
+        locks_.reserve(nprocs);
+        for (int p = 0; p < nprocs; ++p)
+            locks_.push_back(m.lockCreate());
+        steals_.assign(nprocs, 0);
+    }
+
+    /// Host-side push during setup (no timing).
+    void push(int proc, int task) { queues_[proc].push_back(task); }
+
+    sim::LockId lock(int proc) const { return locks_[proc]; }
+
+    /// Pop from own queue (caller must hold lock(proc)).
+    int
+    popLocked(int proc)
+    {
+        auto& q = queues_[proc];
+        if (q.empty())
+            return -1;
+        const int t = q.back();
+        q.pop_back();
+        return t;
+    }
+
+    /// Steal half of `victim`'s tasks into `thief`'s queue (caller must
+    /// hold lock(victim)). Returns number stolen.
+    int
+    stealLocked(int thief, int victim)
+    {
+        auto& v = queues_[victim];
+        const int take = static_cast<int>((v.size() + 1) / 2);
+        for (int i = 0; i < take; ++i) {
+            queues_[thief].push_back(v.front());
+            v.erase(v.begin());
+        }
+        if (take > 0)
+            ++steals_[thief];
+        return take;
+    }
+
+    std::size_t size(int proc) const { return queues_[proc].size(); }
+    std::uint64_t steals(int proc) const { return steals_[proc]; }
+    int nprocs() const { return static_cast<int>(queues_.size()); }
+
+    /// Pick the fullest queue other than `self` (victim selection).
+    int
+    fullestVictim(int self) const
+    {
+        int best = -1;
+        std::size_t best_n = 0;
+        for (int q = 0; q < nprocs(); ++q)
+            if (q != self && queues_[q].size() > best_n) {
+                best_n = queues_[q].size();
+                best = q;
+            }
+        return best;
+    }
+
+    /**
+     * Dequeue a task for `cpu`, stealing from the fullest victim when
+     * its own queue is empty. Nested-phase coroutine: drive it with
+     * CCNUMA_RUN_NESTED and read the result from `out` (-1 when all
+     * queues are drained).
+     */
+    sim::Task
+    dequeue(sim::Cpu& cpu, int& out)
+    {
+        out = -1;
+        for (;;) {
+            const int p = cpu.id();
+            co_await cpu.acquire(lock(p));
+            const int task = popLocked(p);
+            cpu.release(lock(p));
+            if (task >= 0) {
+                out = task;
+                co_return;
+            }
+            const int victim = fullestVictim(p);
+            if (victim < 0)
+                co_return; // every queue empty: done
+            co_await cpu.acquire(lock(victim));
+            stealLocked(p, victim);
+            cpu.release(lock(victim));
+            // Retry: another thief may have raced us.
+        }
+    }
+
+  private:
+    std::vector<std::vector<int>> queues_;
+    std::vector<sim::LockId> locks_;
+    std::vector<std::uint64_t> steals_;
+};
+
+} // namespace ccnuma::apps
+
+#endif // CCNUMA_APPS_TASKQUEUE_HH

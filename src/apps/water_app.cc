@@ -1,0 +1,266 @@
+#include "apps/water_app.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/water.hh"
+#include "sim/rng.hh"
+
+namespace ccnuma::apps {
+
+using namespace sim;
+
+// ---------------------------------------------------------------------
+// Water-Nsquared
+// ---------------------------------------------------------------------
+
+void
+WaterNsqApp::setup(Machine& m)
+{
+    // Two lines per molecule (3-atom positions plus higher-order
+    // derivatives; the real record is ~600 B); block-distributed.
+    const std::uint64_t bytes = cfg_.numMols * 256;
+    mols_ = m.alloc(bytes);
+    m.placeAcrossProcs(mols_, bytes);
+    // Per-proc private force scratch (reduction buffers).
+    scratch_ = m.alloc(static_cast<std::uint64_t>(m.config().numProcs) *
+                       128);
+    m.placeAcrossProcs(
+        scratch_, static_cast<std::uint64_t>(m.config().numProcs) * 128);
+    bar_ = m.barrierCreate();
+}
+
+Machine::Program
+WaterNsqApp::program()
+{
+    const WaterNsqConfig cfg = cfg_;
+    const Addr mols = mols_, scratch = scratch_;
+    const BarrierId bar = bar_;
+
+    return [cfg, mols, scratch, bar](Cpu& cpu) -> Task {
+        const int P = cpu.nprocs();
+        const int p = cpu.id();
+        const std::uint64_t n = cfg.numMols;
+        const auto [mb, me] = blockRange(n, P, p);
+        auto mol = [mols](std::uint64_t i) { return mols + i * 256; };
+        auto mol2 = [mols](std::uint64_t i) {
+            return mols + i * 256 + 128;
+        };
+
+        // Predictor phase: touch own molecules.
+        for (std::uint64_t i = mb; i < me; ++i) {
+            cpu.read(mol(i));
+            cpu.busy(60);
+            cpu.write(mol(i));
+            if ((i - mb) % 32 == 31)
+                co_await cpu.checkpoint();
+        }
+        co_await cpu.barrier(bar);
+
+        // Force phase: each molecule interacts with the n/2 following
+        // molecules; forces on partners accumulate into a private
+        // buffer (reduction afterwards), as in SPLASH-2.
+        if (!cfg.interchanged) {
+            // Original loop order: i (local) outermost. The n/2
+            // partner molecules are re-scanned per i.
+            for (std::uint64_t i = mb; i < me; ++i) {
+                for (std::uint64_t k = 1; k <= n / 2; ++k) {
+                    const std::uint64_t j = (i + k) % n;
+                    cpu.read(mol(j));
+                    cpu.read(mol2(j));
+                    cpu.busy(cfg.cyclesPerPair);
+                    if (k % 8 == 0)
+                        co_await cpu.checkpoint();
+                }
+                cpu.write(mol(i)); // own force update
+                co_await cpu.checkpoint();
+            }
+        } else {
+            // Restructured: partner j outermost; fetch j once, reuse it
+            // against every local molecule (high temporal locality on
+            // remote data). Periodically re-touch local molecules,
+            // which are few and cheap to miss on.
+            const std::uint64_t local = me - mb;
+            const std::uint64_t distinct =
+                std::min<std::uint64_t>(n, n / 2 + local);
+            for (std::uint64_t k = 1; k <= distinct; ++k) {
+                const std::uint64_t j = (mb + local - 1 + k) % n;
+                // Number of local molecules i with j in (i, i+n/2].
+                std::uint64_t span = 0;
+                for (std::uint64_t i = mb; i < me; ++i) {
+                    const std::uint64_t fwd = (j + n - i) % n;
+                    if (fwd >= 1 && fwd <= n / 2)
+                        ++span;
+                }
+                if (span == 0)
+                    continue;
+                cpu.read(mol(j));
+                cpu.read(mol2(j));
+                cpu.busy(cfg.cyclesPerPair * span);
+                if (k % 16 == 0) {
+                    // Keep local molecules warm (they fit trivially).
+                    cpu.read(mol(mb + (k / 16) % local));
+                }
+                co_await cpu.checkpoint();
+            }
+            for (std::uint64_t i = mb; i < me; ++i)
+                cpu.write(mol(i));
+        }
+        co_await cpu.barrier(bar);
+
+        // Reduction of partner-force partials: read other procs'
+        // scratch lines, accumulate into own molecules.
+        for (int q = 1; q < P; ++q) {
+            cpu.read(scratch + static_cast<Addr>((p + q) % P) * 128);
+            cpu.busy((me - mb) * 4);
+            co_await cpu.checkpoint();
+        }
+        co_await cpu.barrier(bar);
+        co_return;
+    };
+}
+
+// ---------------------------------------------------------------------
+// Water-Spatial
+// ---------------------------------------------------------------------
+
+void
+WaterSpApp::setup(Machine& m)
+{
+    nprocs_ = m.config().numProcs;
+    const std::uint64_t bytes = cfg_.numMols * 128;
+    mols_ = m.alloc(bytes);
+    bar_ = m.barrierCreate();
+
+    // Host: real molecule positions, real cell occupancy. Uniform
+    // random placement gives the Poisson per-cell occupancy variance
+    // that drives the paper's communication/computation imbalance at
+    // small problem sizes.
+    const double box = 1.0;
+    std::vector<kernels::Molecule> hmols(cfg_.numMols);
+    {
+        sim::Rng rng(cfg_.seed);
+        for (auto& mol : hmols)
+            mol.pos = kernels::Vec3{rng.uniform() * box,
+                                    rng.uniform() * box,
+                                    rng.uniform() * box};
+    }
+    // ~8 molecules per cell.
+    dim_ = std::max(1, static_cast<int>(std::cbrt(
+                            static_cast<double>(cfg_.numMols) / 8.0)));
+    const kernels::CellList cl(hmols, box, box / dim_);
+    dim_ = cl.cellsPerDim();
+    const int ncells = dim_ * dim_ * dim_;
+    cellMols_.resize(ncells);
+    for (int c = 0; c < ncells; ++c)
+        cellMols_[c] = cl.members(c);
+
+    // Subdomain decomposition: split the cell cube into P near-cubic
+    // subdomains via three nested block partitions (z, then y, then x).
+    cellOwner_.assign(ncells, 0);
+    int pz = static_cast<int>(std::cbrt(static_cast<double>(nprocs_)));
+    while (nprocs_ % pz != 0)
+        --pz;
+    const int rest = nprocs_ / pz;
+    int py = static_cast<int>(std::sqrt(static_cast<double>(rest)));
+    while (rest % py != 0)
+        --py;
+    const int px = rest / py;
+    for (int z = 0; z < dim_; ++z)
+        for (int y = 0; y < dim_; ++y)
+            for (int x = 0; x < dim_; ++x) {
+                const int oz = std::min(z * pz / dim_, pz - 1);
+                const int oy = std::min(y * py / dim_, py - 1);
+                const int ox = std::min(x * px / dim_, px - 1);
+                cellOwner_[(z * dim_ + y) * dim_ + x] =
+                    (oz * py + oy) * px + ox;
+            }
+
+    // Molecules homed with their owning processor's node.
+    for (int c = 0; c < ncells; ++c)
+        for (const int mi : cellMols_[c])
+            m.place(mols_ + static_cast<Addr>(mi) * 128, 128,
+                    m.topology().nodeOfProcess(cellOwner_[c]));
+}
+
+Machine::Program
+WaterSpApp::program()
+{
+    const WaterSpConfig cfg = cfg_;
+    const Addr mols = mols_;
+    const BarrierId bar = bar_;
+    const int dim = dim_;
+    const auto* cell_mols = &cellMols_;
+    const auto* owner = &cellOwner_;
+
+    return [cfg, mols, bar, dim, cell_mols, owner](Cpu& cpu) -> Task {
+        const int p = cpu.id();
+        const int ncells = dim * dim * dim;
+        auto mol = [mols](int i) {
+            return mols + static_cast<Addr>(i) * 128;
+        };
+        auto neighbors = [dim](int c, int k) {
+            // k in [0,27): offset cube around c, wrapped.
+            const int x = c % dim, y = (c / dim) % dim,
+                      z = c / (dim * dim);
+            const int dx = k % 3 - 1, dy = (k / 3) % 3 - 1,
+                      dz = k / 9 - 1;
+            const int nx = (x + dx + dim) % dim;
+            const int ny = (y + dy + dim) % dim;
+            const int nz = (z + dz + dim) % dim;
+            return (nz * dim + ny) * dim + nx;
+        };
+
+        // Intra-molecular + predictor phase on own molecules.
+        for (int c = 0; c < ncells; ++c) {
+            if ((*owner)[c] != p)
+                continue;
+            for (const int mi : (*cell_mols)[c]) {
+                cpu.read(mol(mi));
+                cpu.busy(80);
+                cpu.write(mol(mi));
+            }
+            co_await cpu.checkpoint();
+        }
+        co_await cpu.barrier(bar);
+
+        // Inter-molecular forces: own cells x 27 neighbor cells.
+        for (int c = 0; c < ncells; ++c) {
+            if ((*owner)[c] != p)
+                continue;
+            const auto& mine = (*cell_mols)[c];
+            if (mine.empty())
+                continue;
+            for (int k = 0; k < 27; ++k) {
+                const int nc = neighbors(c, k);
+                const auto& theirs = (*cell_mols)[nc];
+                for (const int mj : theirs) {
+                    cpu.read(mol(mj));
+                    cpu.busy(cfg.cyclesPerPair *
+                             static_cast<Cycles>(mine.size()) / 2);
+                }
+                co_await cpu.checkpoint();
+            }
+            for (const int mi : mine)
+                cpu.write(mol(mi));
+            co_await cpu.checkpoint();
+        }
+        co_await cpu.barrier(bar);
+
+        // Corrector phase.
+        for (int c = 0; c < ncells; ++c) {
+            if ((*owner)[c] != p)
+                continue;
+            for (const int mi : (*cell_mols)[c]) {
+                cpu.read(mol(mi));
+                cpu.busy(60);
+                cpu.write(mol(mi));
+            }
+            co_await cpu.checkpoint();
+        }
+        co_await cpu.barrier(bar);
+        co_return;
+    };
+}
+
+} // namespace ccnuma::apps

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Water-Nsquared and Water-Spatial skeletons.
+ *
+ * Water-Nsquared: O(n^2/2) pairwise force computation. The original
+ * SPLASH-2 loop order iterates local molecules outermost, re-scanning
+ * the n/2 partner molecules per local molecule -- once the partner set
+ * outgrows the cache, every partner access is a remote capacity miss.
+ * The paper's restructuring interchanges the loops so each remote
+ * molecule is fetched once and reused against all local molecules.
+ *
+ * Water-Spatial: 3-D cell decomposition with nearest-neighbor
+ * communication at subdomain faces; scales with problem size.
+ */
+
+#ifndef CCNUMA_APPS_WATER_APP_HH
+#define CCNUMA_APPS_WATER_APP_HH
+
+#include <vector>
+
+#include "apps/app.hh"
+
+namespace ccnuma::apps {
+
+struct WaterNsqConfig {
+    std::uint64_t numMols = 4096;
+    bool interchanged = false;  ///< The restructured loop order.
+    sim::Cycles cyclesPerPair = 500;
+};
+
+class WaterNsqApp : public App
+{
+  public:
+    explicit WaterNsqApp(const WaterNsqConfig& cfg) : cfg_(cfg) {}
+
+    std::string name() const override
+    {
+        return cfg_.interchanged ? "water-nsq-interchanged"
+                                 : "water-nsq";
+    }
+    void setup(sim::Machine& m) override;
+    sim::Machine::Program program() override;
+
+  private:
+    WaterNsqConfig cfg_;
+    sim::Addr mols_ = 0, scratch_ = 0;
+    sim::BarrierId bar_;
+};
+
+struct WaterSpConfig {
+    std::uint64_t numMols = 4096;
+    sim::Cycles cyclesPerPair = 1200;
+    std::uint64_t seed = 7;
+};
+
+class WaterSpApp : public App
+{
+  public:
+    explicit WaterSpApp(const WaterSpConfig& cfg) : cfg_(cfg) {}
+
+    std::string name() const override { return "water-spatial"; }
+    void setup(sim::Machine& m) override;
+    sim::Machine::Program program() override;
+
+  private:
+    WaterSpConfig cfg_;
+    sim::Addr mols_ = 0;
+    sim::BarrierId bar_;
+    int dim_ = 1;                       ///< Cells per dimension.
+    std::vector<std::vector<int>> cellMols_; ///< Cell -> molecule ids.
+    std::vector<int> cellOwner_;        ///< Cell -> owning processor.
+    int nprocs_ = 0;
+};
+
+} // namespace ccnuma::apps
+
+#endif // CCNUMA_APPS_WATER_APP_HH

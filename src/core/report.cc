@@ -1,0 +1,108 @@
+#include "core/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ccnuma::core {
+
+std::string
+fmt(double v, int width, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%*.*f", width, prec, v);
+    return buf;
+}
+
+void
+printHeader(const std::string& title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+void
+printSeries(const std::string& x_label,
+            const std::vector<Series>& series)
+{
+    if (series.empty())
+        return;
+    std::printf("%-18s", x_label.c_str());
+    for (const Series& s : series)
+        std::printf(" %14s", s.name.c_str());
+    std::printf("\n");
+    const std::size_t rows = series[0].xs.size();
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::printf("%-18s", series[0].xs[r].c_str());
+        for (const Series& s : series) {
+            if (r < s.ys.size())
+                std::printf(" %14s", fmt(s.ys[r], 14, 3).c_str());
+            else
+                std::printf(" %14s", "-");
+        }
+        std::printf("\n");
+    }
+}
+
+void
+printBreakdown(const std::string& label, const sim::Breakdown& b)
+{
+    auto bar = [](double frac, char ch) {
+        return std::string(static_cast<std::size_t>(
+                               std::max(0.0, frac) * 40 + 0.5),
+                           ch);
+    };
+    std::printf("%-28s busy %5.1f%% mem %5.1f%% sync %5.1f%%  |%s%s%s|\n",
+                label.c_str(), b.busy * 100, b.mem * 100, b.sync * 100,
+                bar(b.busy, '#').c_str(), bar(b.mem, '=').c_str(),
+                bar(b.sync, '.').c_str());
+}
+
+void
+printPerProcBreakdown(const std::string& label, const sim::RunResult& r,
+                      int buckets)
+{
+    std::printf("%s (per-processor continuum, %d buckets of %zu procs)\n",
+                label.c_str(), buckets, r.procs.size() / buckets);
+    const int nprocs = static_cast<int>(r.procs.size());
+    buckets = std::min(buckets, nprocs);
+    for (int bkt = 0; bkt < buckets; ++bkt) {
+        const int lo = nprocs * bkt / buckets;
+        const int hi = nprocs * (bkt + 1) / buckets;
+        sim::Breakdown acc;
+        for (int p = lo; p < hi; ++p) {
+            const sim::Breakdown pb = r.breakdown(p);
+            acc.busy += pb.busy;
+            acc.mem += pb.mem;
+            acc.sync += pb.sync;
+        }
+        const double n = hi - lo;
+        acc.busy /= n;
+        acc.mem /= n;
+        acc.sync /= n;
+        char lbl[32];
+        std::snprintf(lbl, sizeof lbl, "  procs %3d-%-3d", lo, hi - 1);
+        printBreakdown(lbl, acc);
+    }
+}
+
+void
+printCounters(const std::string& label, const sim::ProcCounters& c)
+{
+    std::printf(
+        "%-28s loads %llu stores %llu hits %llu missL %llu missRC %llu "
+        "missRD %llu upg %llu inv %llu wb %llu pf %llu/%llu mig %llu\n",
+        label.c_str(),
+        static_cast<unsigned long long>(c.loads),
+        static_cast<unsigned long long>(c.stores),
+        static_cast<unsigned long long>(c.l2Hits),
+        static_cast<unsigned long long>(c.missLocal),
+        static_cast<unsigned long long>(c.missRemoteClean),
+        static_cast<unsigned long long>(c.missRemoteDirty),
+        static_cast<unsigned long long>(c.upgrades),
+        static_cast<unsigned long long>(c.invalsSent),
+        static_cast<unsigned long long>(c.writebacks),
+        static_cast<unsigned long long>(c.prefetchesUseful),
+        static_cast<unsigned long long>(c.prefetchesIssued),
+        static_cast<unsigned long long>(c.pageMigrations));
+}
+
+} // namespace ccnuma::core

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text reporting helpers shared by the bench binaries: figure-style
+ * series tables, execution-time breakdown bars and per-processor
+ * breakdown continua (the paper's Figures 3 and 5-8).
+ */
+
+#ifndef CCNUMA_CORE_REPORT_HH
+#define CCNUMA_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace ccnuma::core {
+
+/// "==== <title> ====" header.
+void printHeader(const std::string& title);
+
+/** One named series of (x, y) points, e.g. efficiency vs problem size. */
+struct Series {
+    std::string name;
+    std::vector<std::string> xs;
+    std::vector<double> ys;
+};
+
+/// Tabulate several series sharing x labels:
+///   x | series1 | series2 ...
+void printSeries(const std::string& x_label,
+                 const std::vector<Series>& series);
+
+/// One Busy/Memory/Sync breakdown line with a proportional ASCII bar.
+void printBreakdown(const std::string& label, const sim::Breakdown& b);
+
+/// Per-processor breakdown continuum (Figures 5-8): rows of processors
+/// grouped into `buckets` buckets, with busy/mem/sync percentages.
+void printPerProcBreakdown(const std::string& label,
+                           const sim::RunResult& r, int buckets = 16);
+
+/// Counter summary line (misses by type, invals, writebacks...).
+void printCounters(const std::string& label, const sim::ProcCounters& c);
+
+/// Format helper: fixed-width double.
+std::string fmt(double v, int width = 7, int prec = 2);
+
+} // namespace ccnuma::core
+
+#endif // CCNUMA_CORE_REPORT_HH

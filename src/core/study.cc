@@ -1,0 +1,41 @@
+#include "core/study.hh"
+
+namespace ccnuma::core {
+
+sim::RunResult
+runApp(const sim::MachineConfig& cfg, apps::App& app)
+{
+    sim::Machine m(cfg);
+    app.setup(m);
+    return m.run(app.program());
+}
+
+Measurement
+measure(const sim::MachineConfig& cfg, const AppFactory& factory,
+        std::map<std::string, sim::Cycles>* seq_cache,
+        const std::string& seq_key)
+{
+    Measurement out;
+    out.nprocs = cfg.numProcs;
+
+    const bool cached = seq_cache && !seq_key.empty() &&
+                        seq_cache->count(seq_key);
+    if (cached) {
+        out.seqTime = (*seq_cache)[seq_key];
+    } else {
+        sim::MachineConfig seq_cfg = cfg;
+        seq_cfg.numProcs = 1;
+        seq_cfg.oneProcPerNode = false;
+        apps::AppPtr seq_app = factory();
+        out.seqTime = runApp(seq_cfg, *seq_app).time;
+        if (seq_cache && !seq_key.empty())
+            (*seq_cache)[seq_key] = out.seqTime;
+    }
+
+    apps::AppPtr par_app = factory();
+    out.par = runApp(cfg, *par_app);
+    out.parTime = out.par.time;
+    return out;
+}
+
+} // namespace ccnuma::core

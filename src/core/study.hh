@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The study framework: run applications on configured machines, measure
+ * speedup/parallel efficiency against a uniprocessor baseline of the
+ * same program (the paper's methodology, Section 2.3), and sweep
+ * problem sizes and machine sizes.
+ */
+
+#ifndef CCNUMA_CORE_STUDY_HH
+#define CCNUMA_CORE_STUDY_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+#include "sim/machine.hh"
+
+namespace ccnuma::core {
+
+/// Build-an-app callback; called once per machine (P-proc and 1-proc).
+using AppFactory = std::function<apps::AppPtr()>;
+
+/// Run `app` on a machine configured by `cfg`.
+sim::RunResult runApp(const sim::MachineConfig& cfg, apps::App& app);
+
+/** Result of one speedup measurement. */
+struct Measurement {
+    sim::Cycles seqTime = 0;
+    sim::Cycles parTime = 0;
+    int nprocs = 0;
+    sim::RunResult par;   ///< Full parallel-run stats.
+    double speedup() const
+    {
+        return parTime ? static_cast<double>(seqTime) / parTime : 0.0;
+    }
+    double efficiency() const
+    {
+        return nprocs ? speedup() / nprocs : 0.0;
+    }
+};
+
+/**
+ * Measure speedup of factory() on `cfg` against the same program on a
+ * 1-processor machine with otherwise identical parameters.
+ *
+ * `seq_cache` (optional) memoizes sequential times across calls keyed
+ * by a caller-chosen string (e.g. "fft-2^20").
+ */
+Measurement measure(const sim::MachineConfig& cfg,
+                    const AppFactory& factory,
+                    std::map<std::string, sim::Cycles>* seq_cache =
+                        nullptr,
+                    const std::string& seq_key = "");
+
+/// The paper's "scaling well" threshold: 60% parallel efficiency.
+inline constexpr double kGoodEfficiency = 0.60;
+
+} // namespace ccnuma::core
+
+#endif // CCNUMA_CORE_STUDY_HH

@@ -1,0 +1,97 @@
+#include "kernels/bayes.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sim/rng.hh"
+
+namespace ccnuma::kernels {
+
+CliqueTree
+randomTree(int n, int max_vars, std::uint64_t seed)
+{
+    assert(n >= 1);
+    sim::Rng rng(seed);
+    CliqueTree t;
+    t.cliques.resize(n);
+    for (int i = 0; i < n; ++i) {
+        Clique& c = t.cliques[i];
+        if (i > 0) {
+            c.parent = static_cast<int>(rng.range(i));
+            t.cliques[c.parent].children.push_back(i);
+        }
+        // Skewed sizes: mostly 2-4 variables, occasionally large.
+        const double u = rng.uniform();
+        c.vars = u > 0.95 ? max_vars
+                 : u > 0.8 ? std::max(2, max_vars / 2)
+                           : 2 + static_cast<int>(rng.range(3));
+        c.vars = std::min(c.vars, max_vars);
+        c.table.resize(1u << c.vars);
+        for (auto& v : c.table)
+            v = 0.1 + rng.uniform();
+        t.order.push_back(i); // construction order is topological
+    }
+    return t;
+}
+
+namespace {
+
+/// Marginalize `from`'s table down to a scalar per shared "interface":
+/// we model the interface as the low bit of the child table, a faithful
+/// cost model of table marginalization with exact arithmetic.
+void
+sendUp(Clique& child, Clique& parent)
+{
+    double m0 = 0, m1 = 0;
+    for (std::size_t i = 0; i < child.table.size(); ++i)
+        (i & 1 ? m1 : m0) += child.table[i];
+    for (std::size_t i = 0; i < parent.table.size(); ++i)
+        parent.table[i] *= (i & 1 ? m1 : m0);
+}
+
+void
+sendDown(Clique& parent, Clique& child)
+{
+    double m0 = 0, m1 = 0;
+    for (std::size_t i = 0; i < parent.table.size(); ++i)
+        (i & 1 ? m1 : m0) += parent.table[i];
+    const double norm = m0 + m1;
+    if (norm <= 0)
+        return;
+    for (std::size_t i = 0; i < child.table.size(); ++i)
+        child.table[i] *= (i & 1 ? m1 : m0) / norm;
+}
+
+} // namespace
+
+double
+propagate(CliqueTree& tree)
+{
+    // Collect: children before parents.
+    for (auto it = tree.order.rbegin(); it != tree.order.rend(); ++it) {
+        const int c = *it;
+        const int p = tree.cliques[c].parent;
+        if (p >= 0)
+            sendUp(tree.cliques[c], tree.cliques[p]);
+    }
+    // Distribute: parents before children.
+    for (const int p : tree.order)
+        for (const int c : tree.cliques[p].children)
+            sendDown(tree.cliques[p], tree.cliques[c]);
+    double z = 0;
+    for (const double v : tree.cliques[0].table)
+        z += v;
+    return z;
+}
+
+std::uint64_t
+propagationCost(const CliqueTree& tree)
+{
+    std::uint64_t cost = 0;
+    for (const auto& c : tree.cliques)
+        cost += 2 * c.cost();
+    return cost;
+}
+
+} // namespace ccnuma::kernels

@@ -1,0 +1,119 @@
+#include "kernels/fft.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ccnuma::kernels {
+
+void
+fft1d(Cplx* a, std::size_t n, bool inverse)
+{
+    if (n == 0 || (n & (n - 1)) != 0)
+        throw std::invalid_argument("fft1d: n must be a power of two");
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(a[i], a[j]);
+    }
+    const double sign = inverse ? 1.0 : -1.0;
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang = sign * 2.0 * std::numbers::pi / len;
+        const Cplx wlen(std::cos(ang), std::sin(ang));
+        for (std::size_t i = 0; i < n; i += len) {
+            Cplx w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const Cplx u = a[i + k];
+                const Cplx v = a[i + k + len / 2] * w;
+                a[i + k] = u + v;
+                a[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+    if (inverse)
+        for (std::size_t i = 0; i < n; ++i)
+            a[i] /= static_cast<double>(n);
+}
+
+std::vector<Cplx>
+dftNaive(const std::vector<Cplx>& in, bool inverse)
+{
+    const std::size_t n = in.size();
+    std::vector<Cplx> out(n);
+    const double sign = inverse ? 1.0 : -1.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        Cplx sum(0.0, 0.0);
+        for (std::size_t t = 0; t < n; ++t) {
+            const double ang = sign * 2.0 * std::numbers::pi *
+                               static_cast<double>(k) *
+                               static_cast<double>(t) / n;
+            sum += in[t] * Cplx(std::cos(ang), std::sin(ang));
+        }
+        out[k] = inverse ? sum / static_cast<double>(n) : sum;
+    }
+    return out;
+}
+
+void
+transposeBlocked(const Cplx* a, Cplx* b, std::size_t rows,
+                 std::size_t block)
+{
+    assert(block > 0);
+    for (std::size_t bi = 0; bi < rows; bi += block)
+        for (std::size_t bj = 0; bj < rows; bj += block)
+            for (std::size_t i = bi; i < std::min(bi + block, rows); ++i)
+                for (std::size_t j = bj; j < std::min(bj + block, rows);
+                     ++j)
+                    b[j * rows + i] = a[i * rows + j];
+}
+
+void
+fftSixStep(Cplx* a, std::size_t rows, bool inverse)
+{
+    const std::size_t n = rows * rows;
+    std::vector<Cplx> tmp(n);
+    const double sign = inverse ? 1.0 : -1.0;
+
+    // 1. transpose
+    transposeBlocked(a, tmp.data(), rows, 8);
+    // 2. FFT each row of the transpose
+    for (std::size_t r = 0; r < rows; ++r)
+        fft1d(tmp.data() + r * rows, rows, inverse);
+    // 3. twiddle: tmp[r][c] *= W_n^(r*c)
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < rows; ++c) {
+            const double ang = sign * 2.0 * std::numbers::pi *
+                               static_cast<double>(r) *
+                               static_cast<double>(c) / n;
+            tmp[r * rows + c] *= Cplx(std::cos(ang), std::sin(ang));
+        }
+    // 4. transpose
+    transposeBlocked(tmp.data(), a, rows, 8);
+    // 5. FFT each row
+    for (std::size_t r = 0; r < rows; ++r)
+        fft1d(a + r * rows, rows, inverse);
+    // 6. transpose
+    transposeBlocked(a, tmp.data(), rows, 8);
+    std::copy(tmp.begin(), tmp.end(), a);
+    if (inverse) {
+        // fft1d already divided by `rows` twice (= n); nothing more.
+    }
+}
+
+double
+maxError(const std::vector<Cplx>& a, const std::vector<Cplx>& b)
+{
+    double e = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        e = std::max(e, std::abs(a[i] - b[i]));
+    return e;
+}
+
+} // namespace ccnuma::kernels

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Sequential FFT kernels: iterative radix-2 complex FFT, the blocked
+ * sqrt(n) x sqrt(n) 2-D decomposition used by the SPLASH-2 FFT (and by
+ * our simulated FFT application), and a naive DFT for verification.
+ */
+
+#ifndef CCNUMA_KERNELS_FFT_HH
+#define CCNUMA_KERNELS_FFT_HH
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace ccnuma::kernels {
+
+using Cplx = std::complex<double>;
+
+/// In-place iterative radix-2 FFT. n must be a power of two.
+void fft1d(Cplx* a, std::size_t n, bool inverse);
+
+/// O(n^2) DFT reference for tests.
+std::vector<Cplx> dftNaive(const std::vector<Cplx>& in, bool inverse);
+
+/**
+ * The six-step (transpose) FFT over a sqrt(n) x sqrt(n) matrix, exactly
+ * the algorithm the SPLASH-2 FFT parallelizes:
+ *   1. transpose, 2. row FFTs, 3. twiddle multiply, 4. transpose,
+ *   5. row FFTs, 6. transpose.
+ * `a` holds n = rows*rows elements in row-major order.
+ */
+void fftSixStep(Cplx* a, std::size_t rows, bool inverse);
+
+/// Out-of-place blocked matrix transpose (b = a^T), rows x rows.
+void transposeBlocked(const Cplx* a, Cplx* b, std::size_t rows,
+                      std::size_t block);
+
+/// Max |a[i] - b[i]| over two equal-length vectors.
+double maxError(const std::vector<Cplx>& a, const std::vector<Cplx>& b);
+
+} // namespace ccnuma::kernels
+
+#endif // CCNUMA_KERNELS_FFT_HH

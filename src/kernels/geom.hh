@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal 3-D vector used by the N-body and molecular-dynamics kernels.
+ */
+
+#ifndef CCNUMA_KERNELS_GEOM_HH
+#define CCNUMA_KERNELS_GEOM_HH
+
+#include <cmath>
+
+namespace ccnuma::kernels {
+
+struct Vec3 {
+    double x = 0, y = 0, z = 0;
+
+    Vec3& operator+=(const Vec3& o)
+    {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+    Vec3& operator-=(const Vec3& o)
+    {
+        x -= o.x;
+        y -= o.y;
+        z -= o.z;
+        return *this;
+    }
+    Vec3& operator*=(double s)
+    {
+        x *= s;
+        y *= s;
+        z *= s;
+        return *this;
+    }
+    friend Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+    friend Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+    friend Vec3 operator*(Vec3 a, double s) { return a *= s; }
+
+    double norm2() const { return x * x + y * y + z * z; }
+    double norm() const { return std::sqrt(norm2()); }
+};
+
+} // namespace ccnuma::kernels
+
+#endif // CCNUMA_KERNELS_GEOM_HH

@@ -1,0 +1,123 @@
+#include "kernels/protein.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sim/rng.hh"
+
+namespace ccnuma::kernels {
+
+std::uint64_t
+ProteinTree::totalWork() const
+{
+    std::uint64_t w = 0;
+    for (const auto& n : nodes)
+        w += n.work;
+    return w;
+}
+
+ProteinTree
+helixTree(int leaves, std::uint64_t work_per_leaf, std::uint64_t seed)
+{
+    assert(leaves >= 1);
+    sim::Rng rng(seed);
+    ProteinTree t;
+    // Build bottom-up: leaves, then pairwise merge nodes to the root.
+    // We construct top-down with node 0 as root for stable indices.
+    struct Pending {
+        int node;
+        int span;
+    };
+    t.nodes.push_back(ProteinNode{});
+    std::vector<Pending> stack{{0, leaves}};
+    while (!stack.empty()) {
+        const Pending cur = stack.back();
+        stack.pop_back();
+        ProteinNode& n = t.nodes[cur.node];
+        // Work grows with span: merging larger substructures costs more.
+        const double skew = 0.6 + 0.8 * rng.uniform();
+        n.work = static_cast<std::uint64_t>(
+            work_per_leaf * cur.span * skew);
+        n.estimate = static_cast<std::uint64_t>(
+            n.work * (0.7 + 0.6 * rng.uniform())); // noisy estimate
+        if (cur.span <= 1)
+            continue;
+        const int left_span = cur.span / 2;
+        for (const int span : {left_span, cur.span - left_span}) {
+            ProteinNode child;
+            child.parent = cur.node;
+            child.depth = n.depth + 1;
+            t.nodes.push_back(child);
+            const int ci = static_cast<int>(t.nodes.size()) - 1;
+            t.nodes[cur.node].children.push_back(ci);
+            stack.push_back({ci, span});
+        }
+    }
+    t.order.resize(t.nodes.size());
+    for (std::size_t i = 0; i < t.order.size(); ++i)
+        t.order[i] = static_cast<int>(i); // construction is topological
+    return t;
+}
+
+std::vector<int>
+staticGroups(const ProteinTree& tree, int nprocs)
+{
+    const auto& root = tree.nodes[0];
+    if (root.children.empty())
+        return {nprocs};
+    // Subtree estimate sums.
+    std::vector<std::uint64_t> est(tree.nodes.size(), 0);
+    for (auto it = tree.order.rbegin(); it != tree.order.rend(); ++it) {
+        est[*it] += tree.nodes[*it].estimate;
+        const int p = tree.nodes[*it].parent;
+        if (p >= 0)
+            est[p] += est[*it];
+    }
+    std::uint64_t total = 0;
+    for (const int c : root.children)
+        total += est[c];
+    std::vector<int> groups(root.children.size(), 1);
+    int assigned = static_cast<int>(root.children.size());
+    assert(assigned <= nprocs && "need at least one proc per subtree");
+    for (std::size_t i = 0; i < root.children.size(); ++i) {
+        const int extra = static_cast<int>(
+            static_cast<double>(est[root.children[i]]) / total *
+            (nprocs - static_cast<int>(root.children.size())));
+        groups[i] += extra;
+        assigned += extra;
+    }
+    // Distribute rounding leftovers to the largest subtrees.
+    std::vector<std::size_t> by_est(root.children.size());
+    for (std::size_t i = 0; i < by_est.size(); ++i)
+        by_est[i] = i;
+    std::sort(by_est.begin(), by_est.end(), [&](auto a, auto b) {
+        return est[root.children[a]] > est[root.children[b]];
+    });
+    for (std::size_t i = 0; assigned < nprocs; ++i, ++assigned)
+        ++groups[by_est[i % by_est.size()]];
+    return groups;
+}
+
+double
+criticalPathMakespan(const ProteinTree& tree, int nprocs)
+{
+    // Level-by-level: nodes at the same depth run in parallel across
+    // all processors; a node's own work is perfectly parallelizable.
+    // Makespan >= max(total/P, critical path of per-level maxima / P')
+    // -- we use the simple greedy lower bound per level.
+    int max_depth = 0;
+    for (const auto& n : tree.nodes)
+        max_depth = std::max(max_depth, n.depth);
+    double makespan = 0;
+    for (int d = max_depth; d >= 0; --d) {
+        std::uint64_t level_work = 0;
+        for (const auto& n : tree.nodes)
+            if (n.depth == d)
+                level_work += n.work;
+        makespan += static_cast<double>(level_work) / nprocs;
+    }
+    return makespan;
+}
+
+} // namespace ccnuma::kernels

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Workload model for the Protein application (hierarchical protein
+ * structure determination): a dependency tree of substructure nodes
+ * with estimated workloads, static processor-group assignment, and the
+ * paper's "process regrouping" dynamic load-balancing schedule.
+ */
+
+#ifndef CCNUMA_KERNELS_PROTEIN_HH
+#define CCNUMA_KERNELS_PROTEIN_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ccnuma::kernels {
+
+/** One substructure node in the refinement hierarchy. */
+struct ProteinNode {
+    int parent = -1;
+    std::vector<int> children;
+    std::uint64_t work = 0;       ///< Parallelizable work units.
+    std::uint64_t estimate = 0;   ///< A-priori (noisy) estimate.
+    int depth = 0;
+};
+
+/** The refinement hierarchy for a helixN-style problem. */
+struct ProteinTree {
+    std::vector<ProteinNode> nodes; ///< Node 0 is the root.
+    std::vector<int> order;         ///< Topological (parents first).
+    std::uint64_t totalWork() const;
+};
+
+/// Build a binary-ish hierarchy over `leaves` base segments (helix16
+/// -> 16 leaves), with noisy work estimates.
+ProteinTree helixTree(int leaves, std::uint64_t work_per_leaf,
+                      std::uint64_t seed);
+
+/**
+ * Static group assignment: split `nprocs` processors into groups
+ * proportional to each *ready* subtree's estimated workload. Returns
+ * group sizes per top-level subtree (>=1 each, summing to nprocs).
+ */
+std::vector<int> staticGroups(const ProteinTree& tree, int nprocs);
+
+/// Ideal (fully balanced) makespan of the tree on nprocs processors,
+/// respecting parent-after-children dependencies; used as the
+/// load-balance reference in tests.
+double criticalPathMakespan(const ProteinTree& tree, int nprocs);
+
+} // namespace ccnuma::kernels
+
+#endif // CCNUMA_KERNELS_PROTEIN_HH

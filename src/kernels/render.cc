@@ -1,0 +1,170 @@
+#include "kernels/render.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sim/rng.hh"
+
+namespace ccnuma::kernels {
+
+Volume::Volume(int dim) : dim_(dim)
+{
+    data_.resize(static_cast<std::size_t>(dim) * dim * dim);
+    const double c = (dim - 1) / 2.0;
+    for (int z = 0; z < dim; ++z)
+        for (int y = 0; y < dim; ++y)
+            for (int x = 0; x < dim; ++x) {
+                const double dx = (x - c) / c, dy = (y - c) / c,
+                             dz = (z - c) / c;
+                const double r = std::sqrt(dx * dx + dy * dy + dz * dz);
+                // Nested shells: skin, skull, brain (head phantom).
+                double d = 0;
+                if (r < 0.9 && r > 0.85)
+                    d = 0.35; // skin
+                else if (r < 0.8 && r > 0.72)
+                    d = 0.9; // skull
+                else if (r < 0.6)
+                    d = 0.15 + 0.1 * std::sin(8 * dx) *
+                                   std::cos(8 * dy); // tissue
+                data_[index(x, y, z)] =
+                    static_cast<std::uint8_t>(std::clamp(d, 0.0, 1.0) *
+                                              255.0);
+            }
+}
+
+std::vector<float>
+shearWarpComposite(const Volume& vol, double shear_x, double shear_y,
+                   std::vector<std::uint32_t>& work_per_scanline)
+{
+    const int dim = vol.dim();
+    std::vector<float> inter(static_cast<std::size_t>(dim) * dim, 0.0f);
+    work_per_scanline.assign(dim, 0);
+    for (int y = 0; y < dim; ++y) {
+        for (int x = 0; x < dim; ++x) {
+            float opacity = 0.0f;
+            for (int z = 0; z < dim; ++z) {
+                // Sheared resample coordinates.
+                const int sx =
+                    x + static_cast<int>(shear_x * z) % dim;
+                const int sy =
+                    y + static_cast<int>(shear_y * z) % dim;
+                if (sx < 0 || sx >= dim || sy < 0 || sy >= dim)
+                    continue;
+                const float a = vol.density(sx, sy, z) / 255.0f * 0.25f;
+                if (a <= 0.0f)
+                    continue; // transparent: skipped by run-length
+                opacity += (1.0f - opacity) * a;
+                ++work_per_scanline[y];
+                if (opacity > 0.95f)
+                    break; // early ray termination
+            }
+            inter[static_cast<std::size_t>(y) * dim + x] = opacity;
+        }
+    }
+    return inter;
+}
+
+std::vector<float>
+warpImage(const std::vector<float>& intermediate, int dim, double angle)
+{
+    std::vector<float> final_(static_cast<std::size_t>(dim) * dim, 0.0f);
+    const double c = (dim - 1) / 2.0;
+    const double ca = std::cos(angle), sa = std::sin(angle);
+    for (int y = 0; y < dim; ++y)
+        for (int x = 0; x < dim; ++x) {
+            // Inverse-rotate the final pixel into intermediate space.
+            const double ix = ca * (x - c) + sa * (y - c) + c;
+            const double iy = -sa * (x - c) + ca * (y - c) + c;
+            const int xi = static_cast<int>(ix);
+            const int yi = static_cast<int>(iy);
+            if (xi < 0 || xi >= dim || yi < 0 || yi >= dim)
+                continue;
+            final_[static_cast<std::size_t>(y) * dim + x] =
+                intermediate[static_cast<std::size_t>(yi) * dim + xi];
+        }
+    return final_;
+}
+
+std::vector<Sphere>
+randomScene(int n, std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    std::vector<Sphere> scene(n);
+    for (auto& s : scene) {
+        s.center = Vec3{rng.uniform() * 2 - 1, rng.uniform() * 2 - 1,
+                        rng.uniform() * 2 - 1};
+        s.radius = 0.05 + 0.15 * rng.uniform();
+        s.reflect = rng.uniform() < 0.3 ? 0.6 : 0.0;
+    }
+    return scene;
+}
+
+namespace {
+
+/// Ray-sphere intersection; returns t > eps or -1.
+double
+hitSphere(const Vec3& origin, const Vec3& dir, const Sphere& s)
+{
+    const Vec3 oc = origin - s.center;
+    const double b = 2.0 * (oc.x * dir.x + oc.y * dir.y + oc.z * dir.z);
+    const double cc = oc.norm2() - s.radius * s.radius;
+    const double disc = b * b - 4 * cc;
+    if (disc < 0)
+        return -1;
+    const double t = (-b - std::sqrt(disc)) / 2.0;
+    return t > 1e-6 ? t : -1;
+}
+
+} // namespace
+
+std::vector<std::uint32_t>
+traceImage(const std::vector<Sphere>& scene, int side, int max_bounces,
+           std::vector<float>* image)
+{
+    std::vector<std::uint32_t> work(
+        static_cast<std::size_t>(side) * side, 0);
+    if (image)
+        image->assign(work.size(), 0.0f);
+    for (int py = 0; py < side; ++py) {
+        for (int px = 0; px < side; ++px) {
+            Vec3 origin{2.0 * px / side - 1.0, 2.0 * py / side - 1.0,
+                        -2.0};
+            Vec3 dir{0, 0, 1};
+            float shade = 0.0f, weight = 1.0f;
+            std::uint32_t tests = 0;
+            for (int bounce = 0; bounce <= max_bounces; ++bounce) {
+                double best = 1e30;
+                int hit = -1;
+                for (std::size_t s = 0; s < scene.size(); ++s) {
+                    ++tests;
+                    const double t = hitSphere(origin, dir, scene[s]);
+                    if (t > 0 && t < best) {
+                        best = t;
+                        hit = static_cast<int>(s);
+                    }
+                }
+                if (hit < 0)
+                    break;
+                const Sphere& s = scene[hit];
+                shade += weight * 0.7f;
+                if (s.reflect <= 0)
+                    break;
+                weight *= static_cast<float>(s.reflect);
+                origin += dir * best;
+                const Vec3 n =
+                    (origin - s.center) * (1.0 / s.radius);
+                const double dn = 2 * (dir.x * n.x + dir.y * n.y +
+                                       dir.z * n.z);
+                dir -= n * dn;
+            }
+            work[static_cast<std::size_t>(py) * side + px] = tests;
+            if (image)
+                (*image)[static_cast<std::size_t>(py) * side + px] =
+                    std::min(shade, 1.0f);
+        }
+    }
+    return work;
+}
+
+} // namespace ccnuma::kernels

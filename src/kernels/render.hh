@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Rendering kernels for the three graphics workloads:
+ *  - a procedural "head" volume (density phantom) shared by Volrend and
+ *    Shear-Warp;
+ *  - shear-warp compositing/warp math with per-scanline work profiles
+ *    and run-length early termination (Lacroute's algorithm);
+ *  - a small sphere-scene raytracer with per-tile cost profiles
+ *    (Raytrace's workload shape).
+ */
+
+#ifndef CCNUMA_KERNELS_RENDER_HH
+#define CCNUMA_KERNELS_RENDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/geom.hh"
+
+namespace ccnuma::kernels {
+
+/** Procedural density volume of side `dim` (a nested-shells phantom). */
+class Volume
+{
+  public:
+    explicit Volume(int dim);
+
+    int dim() const { return dim_; }
+    std::uint8_t density(int x, int y, int z) const
+    {
+        return data_[(static_cast<std::size_t>(z) * dim_ + y) * dim_ + x];
+    }
+    /// Linear voxel index (for address mapping in the skeletons).
+    std::size_t index(int x, int y, int z) const
+    {
+        return (static_cast<std::size_t>(z) * dim_ + y) * dim_ + x;
+    }
+    std::size_t voxels() const { return data_.size(); }
+
+  private:
+    int dim_;
+    std::vector<std::uint8_t> data_;
+};
+
+/**
+ * Shear-warp compositing of one frame along +z.
+ *
+ * Returns the intermediate image (dim x dim opacities in [0,1]) and
+ * fills `work_per_scanline` with the number of voxels actually
+ * composited per intermediate-image scanline (early ray termination
+ * makes this non-uniform -- the load-balance profile the restructured
+ * algorithm uses).
+ */
+std::vector<float>
+shearWarpComposite(const Volume& vol, double shear_x, double shear_y,
+                   std::vector<std::uint32_t>& work_per_scanline);
+
+/// Warp the intermediate image into a final image of the same size with
+/// a small rotation; returns the final image.
+std::vector<float> warpImage(const std::vector<float>& intermediate,
+                             int dim, double angle);
+
+/** A sphere for the mini raytracer. */
+struct Sphere {
+    Vec3 center;
+    double radius = 1.0;
+    double reflect = 0.0;
+};
+
+/// Deterministic random scene of `n` spheres in [-1,1]^3.
+std::vector<Sphere> randomScene(int n, std::uint64_t seed);
+
+/// Trace an orthographic image of `side`^2 pixels over the scene;
+/// returns per-pixel intersection-test counts (the workload profile)
+/// and writes shading values into `image` when non-null.
+std::vector<std::uint32_t> traceImage(const std::vector<Sphere>& scene,
+                                      int side, int max_bounces,
+                                      std::vector<float>* image);
+
+} // namespace ccnuma::kernels
+
+#endif // CCNUMA_KERNELS_RENDER_HH

@@ -1,0 +1,90 @@
+#include "kernels/sort.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/rng.hh"
+
+namespace ccnuma::kernels {
+
+std::vector<std::uint64_t>
+radixPass(const std::vector<std::uint32_t>& in,
+          std::vector<std::uint32_t>& out, int shift, int bits)
+{
+    const std::uint32_t mask = (1u << bits) - 1;
+    std::vector<std::uint64_t> hist(1u << bits, 0);
+    for (const std::uint32_t k : in)
+        ++hist[(k >> shift) & mask];
+    std::vector<std::uint64_t> offset(1u << bits, 0);
+    for (std::size_t d = 1; d < offset.size(); ++d)
+        offset[d] = offset[d - 1] + hist[d - 1];
+    out.resize(in.size());
+    for (const std::uint32_t k : in)
+        out[offset[(k >> shift) & mask]++] = k;
+    return hist;
+}
+
+void
+radixSort(std::vector<std::uint32_t>& keys, int bits)
+{
+    assert(bits > 0 && bits <= 16);
+    std::vector<std::uint32_t> tmp;
+    for (int shift = 0; shift < 32; shift += bits) {
+        radixPass(keys, tmp, shift, bits);
+        keys.swap(tmp);
+    }
+}
+
+std::vector<std::uint32_t>
+sampleSplitters(const std::vector<std::uint32_t>& keys, int parts,
+                int oversample, std::uint64_t seed)
+{
+    assert(parts >= 1);
+    if (parts == 1 || keys.empty())
+        return {};
+    sim::Rng rng(seed);
+    std::vector<std::uint32_t> sample;
+    const std::size_t want =
+        std::min(keys.size(),
+                 static_cast<std::size_t>(parts) * oversample);
+    sample.reserve(want);
+    for (std::size_t i = 0; i < want; ++i)
+        sample.push_back(keys[rng.range(keys.size())]);
+    std::sort(sample.begin(), sample.end());
+    std::vector<std::uint32_t> splitters;
+    splitters.reserve(parts - 1);
+    for (int s = 1; s < parts; ++s)
+        splitters.push_back(
+            sample[s * sample.size() / parts]);
+    return splitters;
+}
+
+int
+bucketOf(std::uint32_t key, const std::vector<std::uint32_t>& splitters)
+{
+    return static_cast<int>(
+        std::upper_bound(splitters.begin(), splitters.end(), key) -
+        splitters.begin());
+}
+
+std::vector<std::uint64_t>
+bucketHistogram(const std::vector<std::uint32_t>& keys,
+                const std::vector<std::uint32_t>& splitters)
+{
+    std::vector<std::uint64_t> hist(splitters.size() + 1, 0);
+    for (const std::uint32_t k : keys)
+        ++hist[bucketOf(k, splitters)];
+    return hist;
+}
+
+std::vector<std::uint32_t>
+randomKeys(std::size_t n, std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    std::vector<std::uint32_t> keys(n);
+    for (auto& k : keys)
+        k = static_cast<std::uint32_t>(rng.next());
+    return keys;
+}
+
+} // namespace ccnuma::kernels

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Sequential sorting kernels: the radix-sort passes (histogram, scan,
+ * permute) that SPLASH-2 Radix parallelizes, and the splitter logic of
+ * sample sort (the paper's restructured sorting algorithm).
+ */
+
+#ifndef CCNUMA_KERNELS_SORT_HH
+#define CCNUMA_KERNELS_SORT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ccnuma::kernels {
+
+/// One radix pass: stable-permute `in` into `out` by the `bits`-wide
+/// digit at bit offset `shift`. Returns the digit histogram.
+std::vector<std::uint64_t> radixPass(const std::vector<std::uint32_t>& in,
+                                     std::vector<std::uint32_t>& out,
+                                     int shift, int bits);
+
+/// Full LSD radix sort with `bits`-wide digits.
+void radixSort(std::vector<std::uint32_t>& keys, int bits);
+
+/// Choose p-1 splitters by regular sampling with oversampling factor s,
+/// as in parallel sample sort. Returned splitters are sorted.
+std::vector<std::uint32_t>
+sampleSplitters(const std::vector<std::uint32_t>& keys, int parts,
+                int oversample, std::uint64_t seed);
+
+/// Bucket index of `key` under `splitters` (binary search).
+int bucketOf(std::uint32_t key,
+             const std::vector<std::uint32_t>& splitters);
+
+/// Histogram of bucket sizes for `keys` under `splitters`.
+std::vector<std::uint64_t>
+bucketHistogram(const std::vector<std::uint32_t>& keys,
+                const std::vector<std::uint32_t>& splitters);
+
+/// Generate n uniform random keys (deterministic in seed).
+std::vector<std::uint32_t> randomKeys(std::size_t n, std::uint64_t seed);
+
+} // namespace ccnuma::kernels
+
+#endif // CCNUMA_KERNELS_SORT_HH

@@ -1,0 +1,63 @@
+#include "kernels/stencil.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccnuma::kernels {
+
+Grid::Grid(std::size_t n, double boundary)
+    : n_(n), stride_(n + 2), v_((n + 2) * (n + 2), 0.0)
+{
+    for (std::size_t k = 0; k < n + 2; ++k) {
+        at(0, k) = boundary;
+        at(n + 1, k) = boundary;
+        at(k, 0) = boundary;
+        at(k, n + 1) = boundary;
+    }
+}
+
+double
+rbSweep(Grid& g, double omega)
+{
+    double maxd = 0.0;
+    const std::size_t n = g.n();
+    for (int color = 0; color < 2; ++color) {
+        for (std::size_t i = 1; i <= n; ++i) {
+            for (std::size_t j = 1 + ((i + color) & 1); j <= n; j += 2) {
+                const double nb = g.at(i - 1, j) + g.at(i + 1, j) +
+                                  g.at(i, j - 1) + g.at(i, j + 1);
+                const double nv = (1.0 - omega) * g.at(i, j) +
+                                  omega * 0.25 * nb;
+                maxd = std::max(maxd, std::abs(nv - g.at(i, j)));
+                g.at(i, j) = nv;
+            }
+        }
+    }
+    return maxd;
+}
+
+int
+sorSolve(Grid& g, double omega, double tol, int max_iters)
+{
+    for (int it = 1; it <= max_iters; ++it)
+        if (rbSweep(g, omega) < tol)
+            return it;
+    return max_iters;
+}
+
+double
+laplaceResidual(const Grid& g)
+{
+    double r = 0.0;
+    const std::size_t n = g.n();
+    for (std::size_t i = 1; i <= n; ++i)
+        for (std::size_t j = 1; j <= n; ++j) {
+            const double lap = g.at(i - 1, j) + g.at(i + 1, j) +
+                               g.at(i, j - 1) + g.at(i, j + 1) -
+                               4.0 * g.at(i, j);
+            r = std::max(r, std::abs(lap));
+        }
+    return r;
+}
+
+} // namespace ccnuma::kernels

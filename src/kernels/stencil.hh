@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Red-black SOR solver on a 2-D grid: the computational core of the
+ * Ocean application (SPLASH-2 Ocean runs a multigrid solver; its
+ * communication structure is the same nearest-neighbor stencil).
+ */
+
+#ifndef CCNUMA_KERNELS_STENCIL_HH
+#define CCNUMA_KERNELS_STENCIL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ccnuma::kernels {
+
+/** A square grid with fixed boundary values. */
+class Grid
+{
+  public:
+    /// n x n interior plus boundary ring; boundary initialized to
+    /// `boundary`, interior to zero.
+    Grid(std::size_t n, double boundary);
+
+    double& at(std::size_t i, std::size_t j)
+    {
+        return v_[i * stride_ + j];
+    }
+    double at(std::size_t i, std::size_t j) const
+    {
+        return v_[i * stride_ + j];
+    }
+    std::size_t n() const { return n_; }
+
+  private:
+    std::size_t n_;
+    std::size_t stride_;
+    std::vector<double> v_;
+};
+
+/// One red-black Gauss-Seidel sweep (both colors) with relaxation
+/// factor omega; returns the max update delta.
+double rbSweep(Grid& g, double omega);
+
+/// Iterate rbSweep until the delta falls below tol or maxIters.
+/// @return iterations executed.
+int sorSolve(Grid& g, double omega, double tol, int max_iters);
+
+/// Residual of the Laplace equation over the interior (max norm).
+double laplaceResidual(const Grid& g);
+
+} // namespace ccnuma::kernels
+
+#endif // CCNUMA_KERNELS_STENCIL_HH

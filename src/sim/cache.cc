@@ -1,0 +1,149 @@
+#include "sim/cache.hh"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace ccnuma::sim {
+
+namespace {
+
+int
+log2Exact(std::uint64_t v)
+{
+    if (v == 0 || (v & (v - 1)) != 0)
+        throw std::invalid_argument("value must be a power of two");
+    return std::countr_zero(v);
+}
+
+} // namespace
+
+Cache::Cache(std::uint64_t bytes, int assoc, std::uint32_t line_bytes)
+    : lineShift_(log2Exact(line_bytes)),
+      sets_(bytes / (static_cast<std::uint64_t>(line_bytes) * assoc)),
+      assoc_(assoc)
+{
+    if (sets_ == 0 || (sets_ & (sets_ - 1)) != 0)
+        throw std::invalid_argument("cache set count must be a power of 2");
+    ways_.resize(sets_ * assoc_);
+}
+
+Cache::Way*
+Cache::find(std::uint64_t line)
+{
+    Way* base = &ways_[setIndex(line) * assoc_];
+    for (int w = 0; w < assoc_; ++w)
+        if (base[w].state != LineState::Invalid && base[w].line == line)
+            return &base[w];
+    return nullptr;
+}
+
+const Cache::Way*
+Cache::find(std::uint64_t line) const
+{
+    const Way* base = &ways_[setIndex(line) * assoc_];
+    for (int w = 0; w < assoc_; ++w)
+        if (base[w].state != LineState::Invalid && base[w].line == line)
+            return &base[w];
+    return nullptr;
+}
+
+CacheResult
+Cache::access(Addr addr, bool is_write)
+{
+    const std::uint64_t line = lineOf(addr);
+    ++useClock_;
+    if (Way* w = find(line)) {
+        w->lastUse = useClock_;
+        CacheResult r;
+        r.hit = true;
+        if (is_write && w->state == LineState::Shared) {
+            r.upgrade = true;
+            w->state = LineState::Dirty;
+        }
+        return r;
+    }
+    return install(addr, is_write ? LineState::Dirty : LineState::Shared);
+}
+
+CacheResult
+Cache::install(Addr addr, LineState st)
+{
+    assert(st != LineState::Invalid);
+    const std::uint64_t line = lineOf(addr);
+    ++useClock_;
+    Way* base = &ways_[setIndex(line) * assoc_];
+    if (Way* w = find(line)) {
+        // Prefetch raced with demand fetch or repeated install.
+        w->lastUse = useClock_;
+        if (st == LineState::Dirty)
+            w->state = LineState::Dirty;
+        CacheResult r;
+        r.hit = true;
+        return r;
+    }
+    Way* victim = &base[0];
+    for (int w = 0; w < assoc_; ++w) {
+        if (base[w].state == LineState::Invalid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    CacheResult r;
+    if (victim->state != LineState::Invalid) {
+        r.victim = victim->line << lineShift_;
+        r.victimState = victim->state;
+    }
+    victim->line = line;
+    victim->state = st;
+    victim->lastUse = useClock_;
+    return r;
+}
+
+LineState
+Cache::probe(Addr addr) const
+{
+    const Way* w = find(lineOf(addr));
+    return w ? w->state : LineState::Invalid;
+}
+
+LineState
+Cache::invalidate(Addr addr)
+{
+    if (Way* w = find(lineOf(addr))) {
+        const LineState st = w->state;
+        w->state = LineState::Invalid;
+        return st;
+    }
+    return LineState::Invalid;
+}
+
+void
+Cache::downgrade(Addr addr)
+{
+    if (Way* w = find(lineOf(addr)))
+        if (w->state == LineState::Dirty)
+            w->state = LineState::Shared;
+}
+
+std::uint64_t
+Cache::residentLines() const
+{
+    std::uint64_t n = 0;
+    for (const Way& w : ways_)
+        if (w.state != LineState::Invalid)
+            ++n;
+    return n;
+}
+
+void
+Cache::reset()
+{
+    for (Way& w : ways_)
+        w.state = LineState::Invalid;
+    useClock_ = 0;
+}
+
+} // namespace ccnuma::sim

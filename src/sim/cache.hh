@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Set-associative L2 cache model with LRU replacement.
+ *
+ * The simulator models only the unified L2 (4 MB, 2-way, 128 B lines on
+ * the Origin2000): the paper's entire analysis is at the level of L2
+ * misses and coherence traffic, and the R10000's 32 KB L1s are strictly
+ * inclusive filters that do not change miss classification.
+ */
+
+#ifndef CCNUMA_SIM_CACHE_HH
+#define CCNUMA_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ccnuma::sim {
+
+/** Coherence state of a cached line. */
+enum class LineState : std::uint8_t {
+    Invalid = 0,
+    Shared = 1,
+    Dirty = 2, ///< Exclusive-modified (owner).
+};
+
+/** Result of a cache lookup-and-allocate. */
+struct CacheResult {
+    bool hit = false;
+    bool upgrade = false;       ///< Hit Shared but needed ownership.
+    LineAddr victim = 0;        ///< Valid line evicted to make room.
+    LineState victimState = LineState::Invalid;
+};
+
+/**
+ * One processor's L2 cache. Addresses are full byte addresses; the cache
+ * works internally on line numbers (addr >> lineShift).
+ */
+class Cache
+{
+  public:
+    /**
+     * @param bytes total capacity
+     * @param assoc associativity
+     * @param line_bytes line size (power of two)
+     */
+    Cache(std::uint64_t bytes, int assoc, std::uint32_t line_bytes);
+
+    /// Look up a line for reading; allocates (in `Shared` state) on miss.
+    CacheResult access(Addr addr, bool is_write);
+
+    /// Probe without side effects.
+    LineState probe(Addr addr) const;
+
+    /// Invalidate a line if present (due to a remote write).
+    /// @return state the line was in.
+    LineState invalidate(Addr addr);
+
+    /// Downgrade Dirty->Shared (remote read of a line we own).
+    void downgrade(Addr addr);
+
+    /// Install a line in the given state, e.g. by a prefetch.
+    /// Returns eviction info like access().
+    CacheResult install(Addr addr, LineState st);
+
+    std::uint64_t lineOf(Addr addr) const { return addr >> lineShift_; }
+    std::uint32_t lineBytes() const { return 1u << lineShift_; }
+    std::uint64_t numSets() const { return sets_; }
+    int assoc() const { return assoc_; }
+
+    /// Number of valid lines currently resident (for tests).
+    std::uint64_t residentLines() const;
+
+    /// Call fn(lineBaseAddr, state) for every valid line (validation).
+    template <typename Fn>
+    void
+    forEachLine(Fn&& fn) const
+    {
+        for (const Way& w : ways_)
+            if (w.state != LineState::Invalid)
+                fn(w.line << lineShift_, w.state);
+    }
+
+    /// Drop every line, as if by a full flush; no writebacks are modelled
+    /// (used when resetting between phases in tests).
+    void reset();
+
+  private:
+    struct Way {
+        std::uint64_t line = 0;
+        LineState state = LineState::Invalid;
+        std::uint32_t lastUse = 0;
+    };
+
+    std::uint64_t setIndex(std::uint64_t line) const
+    {
+        return line & (sets_ - 1);
+    }
+    Way* find(std::uint64_t line);
+    const Way* find(std::uint64_t line) const;
+
+    int lineShift_;
+    std::uint64_t sets_;
+    int assoc_;
+    std::uint32_t useClock_ = 0;
+    std::vector<Way> ways_; ///< sets_ * assoc_, set-major.
+};
+
+} // namespace ccnuma::sim
+
+#endif // CCNUMA_SIM_CACHE_HH

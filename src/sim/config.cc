@@ -1,0 +1,39 @@
+#include "sim/config.hh"
+
+#include <bit>
+#include <sstream>
+
+namespace ccnuma::sim {
+
+std::string
+MachineConfig::validate() const
+{
+    std::ostringstream err;
+    if (numProcs < 1 || numProcs > kMaxProcs)
+        err << "numProcs must be in [1," << kMaxProcs << "]; ";
+    if (procsPerNode < 1)
+        err << "procsPerNode must be >= 1; ";
+    if (!oneProcPerNode && numProcs > procsPerNode &&
+        numProcs % procsPerNode != 0)
+        err << "numProcs must be a multiple of procsPerNode; ";
+    if (!std::has_single_bit(static_cast<unsigned>(lineBytes)))
+        err << "lineBytes must be a power of two; ";
+    if (pageBytes % lineBytes != 0)
+        err << "pageBytes must be a multiple of lineBytes; ";
+    if (cacheBytes % (static_cast<std::uint64_t>(lineBytes) * cacheAssoc)
+        != 0)
+        err << "cacheBytes must divide into lineBytes*assoc sets; ";
+    if (!std::has_single_bit(numSets()))
+        err << "cache set count must be a power of two; ";
+    if (quantum == 0)
+        err << "quantum must be nonzero; ";
+    const int nodes = numProcs <= procsPerNode && !oneProcPerNode
+                          ? 1
+                          : numNodes();
+    if (nodes >= 1 && numProcs > procsPerNode && !oneProcPerNode &&
+        numNodes() % nodesPerRouter != 0 && numNodes() > 1)
+        err << "node count must be a multiple of nodesPerRouter; ";
+    return err.str();
+}
+
+} // namespace ccnuma::sim

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Machine configuration for the simulated CC-NUMA multiprocessor.
+ *
+ * Default values calibrate the simulator to the 195 MHz SGI Origin2000
+ * described in the paper (Jiang & Singh, ISCA 1999): 338 ns local miss,
+ * 656 ns nearest remote-clean miss and 892 ns remote-dirty miss (Table 1),
+ * a 4 MB 2-way L2 with 128-byte lines, 16 KB pages, two processors per
+ * node sharing a Hub, and two nodes per router.
+ */
+
+#ifndef CCNUMA_SIM_CONFIG_HH
+#define CCNUMA_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace ccnuma::sim {
+
+/** Page placement policy applied by the page table. */
+enum class Placement {
+    FirstTouch,  ///< Page homed at the node of the first toucher.
+    RoundRobin,  ///< Pages homed round-robin across nodes.
+    Explicit,    ///< Application-directed placement (the "manual" scheme).
+};
+
+/** How simulated processes are mapped onto physical processors. */
+enum class Mapping {
+    Linear,       ///< Process i runs on processor i.
+    Random,       ///< Seeded random permutation of processes.
+    PairedRandom, ///< Process pairs (2i, 2i+1) stay co-located on a node,
+                  ///< but node assignment is a random permutation.
+};
+
+/** Synchronization primitive implementation style (Section 6.3). */
+enum class SyncKind {
+    LLSC,    ///< Load-linked/store-conditional on cached lines.
+    FetchOp, ///< At-memory uncached fetch&op as on the Origin Hub.
+};
+
+/** Barrier algorithm selector (Section 6.3). */
+enum class BarrierAlg {
+    Tournament,  ///< O(log P) tournament barrier.
+    Centralized, ///< Single counter + sense-reversal flag.
+};
+
+/**
+ * Full parameterization of the simulated machine.
+ *
+ * All latencies are in processor cycles; helpers below compose them into
+ * the end-to-end transaction latencies of Table 1.
+ */
+struct MachineConfig {
+    /// Total processors. Must be a multiple of procsPerNode.
+    int numProcs = 32;
+    /// Processors sharing one node (Hub + memory). Origin2000: 2.
+    int procsPerNode = 2;
+    /// Nodes sharing one router. Origin2000: 2.
+    int nodesPerRouter = 2;
+    /// Processors per hypercube module; >= numProcs means no metarouters.
+    /// The paper's 128p machine is four 32p modules joined by metarouters.
+    int procsPerModule = 32;
+
+    /// Processor clock in MHz (195 MHz R10000).
+    double clockMHz = 195.0;
+
+    /// Unified L2 cache size in bytes (4 MB).
+    std::uint64_t cacheBytes = 4u << 20;
+    /// L2 associativity (2-way).
+    int cacheAssoc = 2;
+    /// Cache line size in bytes (128 B).
+    std::uint32_t lineBytes = 128;
+    /// Page size in bytes (16 KB).
+    std::uint32_t pageBytes = 16u << 10;
+
+    // ---- Latency components (cycles) ----
+    /// L2 hit cost charged as memory stall.
+    Cycles l2HitCycles = 8;
+    /// Processor-side issue overhead per miss (each direction).
+    Cycles procCycles = 4;
+    /// Hub service latency; also its occupancy per traversal.
+    Cycles hubCycles = 7;
+    /// DRAM access latency at the home memory.
+    Cycles memCycles = 40;
+    /// Memory occupancy per line transfer (bandwidth model).
+    Cycles memOccupancy = 40;
+    /// Hub occupancy per transaction traversal.
+    Cycles hubOccupancy = 10;
+    /// Directory lookup/update cost at the home Hub.
+    Cycles dirCycles = 4;
+    /// Per-router-hop latency, each direction.
+    Cycles routerCycles = 10;
+    /// Link/NI cost per network traversal (fixed part, each direction).
+    Cycles linkCycles = 14;
+    /// Router occupancy per traversal.
+    Cycles routerOccupancy = 3;
+    /// Extra metarouter hop latency per crossing (each direction).
+    Cycles metaRouterCycles = 24;
+    /// Metarouter occupancy per crossing.
+    Cycles metaRouterOccupancy = 5;
+    /// Cache intervention cost at a dirty owner (3-hop transactions).
+    Cycles interventionCycles = 22;
+    /// Additional serialized cost per invalidated sharer.
+    Cycles invalPerSharerCycles = 4;
+
+    // ---- Policies ----
+    Placement placement = Placement::Explicit;
+    Mapping mapping = Mapping::Linear;
+    std::uint64_t mappingSeed = 12345;
+    SyncKind syncKind = SyncKind::LLSC;
+    BarrierAlg barrierAlg = BarrierAlg::Tournament;
+
+    /// Enable dynamic page migration (Section 6.2).
+    bool pageMigration = false;
+    /// Remote-access excess over home accesses that triggers migration.
+    std::uint32_t migrationThreshold = 128;
+    /// Cost to migrate one page, cycles: page copy plus TLB
+    /// shootdown/OS involvement (~100us on IRIX-class systems).
+    /// Charged at both memories; a quarter stalls the triggering
+    /// access (the page is unavailable mid-move).
+    Cycles migrationCycles = 20000;
+
+    /// Use only one processor per node, leaving the sibling idle
+    /// (Section 7.2). The machine then spans numProcs nodes.
+    bool oneProcPerNode = false;
+
+    /// Scheduler quantum: max cycles a processor runs ahead of the
+    /// globally slowest runnable processor before yielding. Keep this
+    /// within a few transaction service times: execution-order disorder
+    /// (and thus contention-clock error) is bounded by the quantum.
+    Cycles quantum = 500;
+
+    // ---- Derived helpers ----
+    int numNodes() const
+    {
+        const int ppn = oneProcPerNode ? 1 : procsPerNode;
+        return (numProcs + ppn - 1) / ppn;
+    }
+    int numRouters() const
+    {
+        const int r = numNodes() / nodesPerRouter;
+        return r < 1 ? 1 : r;
+    }
+    int nodesPerModule() const
+    {
+        int n = procsPerModule / (oneProcPerNode ? 1 : procsPerNode);
+        return n < nodesPerRouter ? nodesPerRouter : n;
+    }
+    bool hasMetaRouters() const { return numNodes() > nodesPerModule(); }
+    double nsPerCycle() const { return 1000.0 / clockMHz; }
+    std::uint64_t numSets() const
+    {
+        return cacheBytes / (static_cast<std::uint64_t>(lineBytes) *
+                             cacheAssoc);
+    }
+
+    /// End-to-end local miss latency (Table 1 "Local").
+    Cycles localMissCycles() const
+    {
+        return 2 * procCycles + 2 * hubCycles + dirCycles + memCycles;
+    }
+    /// Fixed (distance-independent) part of a remote clean miss.
+    Cycles remoteCleanBaseCycles() const
+    {
+        return 2 * procCycles + 4 * hubCycles + dirCycles + memCycles +
+               2 * linkCycles;
+    }
+    /// Fixed extra cycles a dirty-remote (3-hop) transaction adds on top
+    /// of a clean-remote one; the extra network legs (requester->home->
+    /// owner->requester versus a simple round trip) add on top.
+    Cycles dirtyExtraCycles() const
+    {
+        return 2 * hubCycles + interventionCycles;
+    }
+
+    /// Validate invariants; returns an error string or empty on success.
+    std::string validate() const;
+};
+
+} // namespace ccnuma::sim
+
+#endif // CCNUMA_SIM_CONFIG_HH

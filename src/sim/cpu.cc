@@ -1,0 +1,62 @@
+#include "sim/cpu.hh"
+
+#include "sim/machine.hh"
+#include "sim/scheduler.hh"
+
+namespace ccnuma::sim {
+
+void
+Cpu::readRange(Addr addr, std::uint64_t bytes)
+{
+    const Addr line_mask = ~static_cast<Addr>(mem_->config().lineBytes - 1);
+    const Addr first = addr & line_mask;
+    const Addr last = (addr + (bytes ? bytes - 1 : 0)) & line_mask;
+    for (Addr a = first; a <= last; a += mem_->config().lineBytes)
+        read(a);
+}
+
+void
+Cpu::writeRange(Addr addr, std::uint64_t bytes)
+{
+    const Addr line_mask = ~static_cast<Addr>(mem_->config().lineBytes - 1);
+    const Addr first = addr & line_mask;
+    const Addr last = (addr + (bytes ? bytes - 1 : 0)) & line_mask;
+    for (Addr a = first; a <= last; a += mem_->config().lineBytes)
+        write(a);
+}
+
+Cpu::SyncAwait
+Cpu::barrier(BarrierId b)
+{
+    const bool proceed = machine_->barrierArrive(b, *this);
+    return SyncAwait{*this, !proceed};
+}
+
+Cpu::SyncAwait
+Cpu::acquire(LockId l)
+{
+    const bool granted = machine_->lockAcquire(l, *this);
+    return SyncAwait{*this, !granted};
+}
+
+void
+Cpu::release(LockId l)
+{
+    machine_->lockRelease(l, *this);
+}
+
+void
+Cpu::reschedule()
+{
+    sched_->ready(id_, now_);
+}
+
+void
+Cpu::markBlocked()
+{
+    sched_->block(id_);
+    if (nestedDepth_ > 0)
+        nestedBlocked_ = true;
+}
+
+} // namespace ccnuma::sim

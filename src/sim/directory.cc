@@ -1,0 +1,16 @@
+#include "sim/directory.hh"
+
+#include <bit>
+
+namespace ccnuma::sim {
+
+int
+SharerSet::count() const
+{
+    int n = 0;
+    for (auto b : bits_)
+        n += std::popcount(b);
+    return n;
+}
+
+} // namespace ccnuma::sim

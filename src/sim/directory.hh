@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Full-bit-vector coherence directory (one logical entry per cache line,
+ * materialized on demand), as kept at each Origin2000 home Hub.
+ */
+
+#ifndef CCNUMA_SIM_DIRECTORY_HH
+#define CCNUMA_SIM_DIRECTORY_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace ccnuma::sim {
+
+/** Compact set of sharer processors (up to kMaxProcs). */
+class SharerSet
+{
+  public:
+    void add(ProcId p) { bits_[p >> 6] |= 1ull << (p & 63); }
+    void remove(ProcId p) { bits_[p >> 6] &= ~(1ull << (p & 63)); }
+    bool contains(ProcId p) const
+    {
+        return bits_[p >> 6] & (1ull << (p & 63));
+    }
+    void clear() { bits_ = {}; }
+    int count() const;
+    bool empty() const
+    {
+        for (auto b : bits_)
+            if (b)
+                return false;
+        return true;
+    }
+    /// Call fn(ProcId) for each member.
+    template <typename Fn>
+    void forEach(Fn&& fn) const
+    {
+        for (std::size_t w = 0; w < bits_.size(); ++w) {
+            std::uint64_t b = bits_[w];
+            while (b) {
+                const int bit = __builtin_ctzll(b);
+                fn(static_cast<ProcId>(w * 64 + bit));
+                b &= b - 1;
+            }
+        }
+    }
+
+  private:
+    std::array<std::uint64_t, kMaxProcs / 64> bits_{};
+};
+
+/** Directory state for one line. */
+enum class DirState : std::uint8_t {
+    Uncached, ///< No cached copies.
+    Shared,   ///< One or more clean copies.
+    Dirty,    ///< Exactly one modified copy at `owner`.
+};
+
+/** One directory entry. */
+struct DirEntry {
+    DirState state = DirState::Uncached;
+    ProcId owner = kNoProc;
+    SharerSet sharers;
+};
+
+/**
+ * The machine-wide directory. Entries live in a hash map keyed by line
+ * address; lines never cached have no entry (implicitly Uncached).
+ */
+class Directory
+{
+  public:
+    Directory() { entries_.reserve(1u << 16); }
+
+    /// Entry for a line, creating it Uncached if absent.
+    DirEntry& lookup(LineAddr line) { return entries_[line]; }
+
+    /// Entry if present, else nullptr (no allocation).
+    const DirEntry* probe(LineAddr line) const
+    {
+        auto it = entries_.find(line);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    /// Drop an entry once a line returns to Uncached, bounding map growth.
+    void drop(LineAddr line) { entries_.erase(line); }
+
+    std::size_t size() const { return entries_.size(); }
+
+    /// Call fn(lineAddr, entry) for every entry (validation/tests).
+    template <typename Fn>
+    void
+    forEach(Fn&& fn) const
+    {
+        for (const auto& [line, e] : entries_)
+            fn(line, e);
+    }
+
+  private:
+    std::unordered_map<LineAddr, DirEntry> entries_;
+};
+
+} // namespace ccnuma::sim
+
+#endif // CCNUMA_SIM_DIRECTORY_HH

@@ -1,0 +1,232 @@
+#include "sim/machine.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace ccnuma::sim {
+
+Machine::Machine(const MachineConfig& cfg)
+    : cfg_(cfg), topo_(cfg), mem_(cfg, topo_)
+{
+    const std::string err = cfg_.validate();
+    if (!err.empty())
+        throw std::invalid_argument("bad MachineConfig: " + err);
+    sched_.setQuantum(cfg_.quantum);
+}
+
+Addr
+Machine::alloc(std::uint64_t bytes)
+{
+    const Addr a = nextAddr_;
+    const std::uint64_t page = cfg_.pageBytes;
+    nextAddr_ += (bytes + page - 1) / page * page;
+    return a;
+}
+
+Addr
+Machine::allocLine()
+{
+    // Sync lines get a page each so placement of one does not drag others
+    // along; pages are cheap in a simulated address space.
+    return alloc(cfg_.lineBytes);
+}
+
+void
+Machine::placeAcrossProcs(Addr addr, std::uint64_t bytes)
+{
+    std::vector<NodeId> order(cfg_.numProcs);
+    for (int p = 0; p < cfg_.numProcs; ++p)
+        order[p] = topo_.nodeOfProcess(p);
+    mem_.placeBlocked(addr, bytes, order);
+}
+
+BarrierId
+Machine::barrierCreate(int participants)
+{
+    BarrierState bs;
+    bs.participants = participants < 0 ? cfg_.numProcs : participants;
+    bs.line = allocLine();
+    barriers_.push_back(bs);
+    return BarrierId{static_cast<int>(barriers_.size()) - 1};
+}
+
+LockId
+Machine::lockCreate()
+{
+    LockState ls;
+    ls.line = allocLine();
+    locks_.push_back(ls);
+    return LockId{static_cast<int>(locks_.size()) - 1};
+}
+
+RunResult
+Machine::run(const Program& program)
+{
+    if (ran_)
+        throw std::logic_error(
+            "Machine::run: a Machine runs one program; construct a "
+            "fresh Machine per run (scheduler and protocol state are "
+            "not reset)");
+    ran_ = true;
+    statsView_.assign(cfg_.numProcs, ProcStats{});
+    mem_.attachStats(&statsView_);
+    cpus_.clear();
+    cpus_.reserve(cfg_.numProcs);
+    for (int p = 0; p < cfg_.numProcs; ++p)
+        cpus_.emplace_back(*this, mem_, sched_, statsView_[p], p,
+                           cfg_.numProcs);
+    sched_.attach(&cpus_);
+    tasks_.clear();
+    tasks_.reserve(cfg_.numProcs);
+    for (int p = 0; p < cfg_.numProcs; ++p) {
+        tasks_.push_back(program(cpus_[p]));
+        sched_.spawn(p, tasks_[p].handle());
+    }
+    sched_.run();
+    for (const Task& t : tasks_)
+        t.rethrowIfFailed();
+
+    RunResult r;
+    r.procs = statsView_;
+    for (const Cpu& c : cpus_)
+        r.time = std::max(r.time, c.now());
+    r.pageMigrations = mem_.pageTable().totalMigrations();
+    return r;
+}
+
+Cycles
+Machine::syncRmwCost(Cpu& cpu, Addr line, ProcId& last_holder)
+{
+    // Pure-latency cost model: synchronization variables do not disturb
+    // the global cache/directory/contention state. Serialization among
+    // contenders is modelled episode-exactly by the callers, which makes
+    // the accounting robust to the scheduler's bounded time disorder.
+    const NodeId me = mem_.nodeOfProcess(cpu.id());
+    const NodeId home = mem_.syncHomeOf(line);
+    Cycles c;
+    if (cfg_.syncKind == SyncKind::FetchOp) {
+        c = mem_.pureFetchOp(me, home);
+    } else if (last_holder == cpu.id()) {
+        c = cfg_.l2HitCycles + 4; // line still in our cache
+    } else if (last_holder == kNoProc) {
+        c = mem_.pureFetch(me, home) + 4;
+    } else {
+        // The line bounces dirty from the previous LL-SC holder.
+        c = mem_.pureDirty(me, home, mem_.nodeOfProcess(last_holder)) + 4;
+    }
+    if (cfg_.syncKind == SyncKind::LLSC)
+        last_holder = cpu.id();
+    return c;
+}
+
+bool
+Machine::barrierArrive(BarrierId b, Cpu& cpu)
+{
+    BarrierState& bs = barriers_.at(b.idx);
+    const int rounds =
+        std::bit_width(static_cast<unsigned>(
+            bs.participants > 1 ? bs.participants - 1 : 0));
+
+    // Arrival cost.
+    Cycles op = 0;
+    if (cfg_.barrierAlg == BarrierAlg::Centralized || rounds == 0) {
+        op = syncRmwCost(cpu, bs.line, bs.lastHolder);
+    } else {
+        // Tournament: one exchange with a partner per round; traffic is
+        // spread over distinct lines, so no single line bounces.
+        for (int rd = 0; rd < rounds; ++rd) {
+            const ProcId partner =
+                (cpu.id() ^ (1 << rd)) % cfg_.numProcs;
+            op += mem_.netRoundTrip(cpu.id(), partner) / 2 +
+                  cfg_.l2HitCycles;
+        }
+    }
+    cpu.chargeSyncOp(op);
+
+    bs.arrivals.emplace_back(cpu.now(), cpu.id());
+    if (static_cast<int>(bs.arrivals.size()) < bs.participants)
+        return false; // block; the last arriver wakes us
+
+    // Last arriver: compute the episode's serialization and release.
+    // Arrivals are chained through the barrier's central resource in
+    // *simulated time* order (sorting makes this exact even though the
+    // scheduler executed them in a slightly different order).
+    std::sort(bs.arrivals.begin(), bs.arrivals.end());
+    const Cycles occ =
+        cfg_.barrierAlg == BarrierAlg::Centralized
+            ? (cfg_.syncKind == SyncKind::FetchOp
+                   ? cfg_.hubOccupancy
+                   : 2 * cfg_.hubOccupancy + cfg_.interventionCycles)
+            : 2; // tournament joins are spread across the tree
+    Cycles end = 0;
+    for (const auto& [t, p] : bs.arrivals)
+        end = std::max(end, t) + occ;
+    const Cycles release = end + cfg_.hubCycles;
+
+    for (const auto& [t, p] : bs.arrivals) {
+        (void)t;
+        Cycles wake = release + mem_.netRoundTrip(cpu.id(), p) / 2;
+        if (cfg_.barrierAlg == BarrierAlg::Tournament)
+            wake += 4u * rounds; // staged wake-up through the tree
+        Cpu& w = cpus_[p];
+        ++w.stats().c.barriersPassed;
+        if (p == cpu.id()) {
+            if (wake > w.now())
+                w.chargeSyncWait(wake - w.now());
+        } else {
+            w.wakeAt(wake);
+            sched_.ready(p, w.now());
+        }
+    }
+    bs.arrivals.clear();
+    return true;
+}
+
+bool
+Machine::lockAcquire(LockId l, Cpu& cpu)
+{
+    LockState& ls = locks_.at(l.idx);
+    const Cycles op = syncRmwCost(cpu, ls.line, ls.lastHolder);
+    cpu.chargeSyncOp(op);
+    ++cpu.stats().c.lockAcquires;
+    if (!ls.held) {
+        ls.held = true;
+        ls.owner = cpu.id();
+        return true;
+    }
+    ls.waiters.emplace_back(cpu.id(), cpu.now());
+    return false;
+}
+
+void
+Machine::lockRelease(LockId l, Cpu& cpu)
+{
+    LockState& ls = locks_.at(l.idx);
+    assert(ls.held && ls.owner == cpu.id());
+    // Releasing store on the lock line.
+    const Cycles op = syncRmwCost(cpu, ls.line, ls.lastHolder);
+    cpu.chargeSyncOp(op);
+    if (ls.waiters.empty()) {
+        ls.held = false;
+        ls.owner = kNoProc;
+        return;
+    }
+    // Ticket handoff to the FIFO head. The waiter pays the line transfer
+    // from the releaser before it proceeds.
+    const auto [next, blockTime] = ls.waiters.front();
+    (void)blockTime;
+    ls.waiters.erase(ls.waiters.begin());
+    ls.owner = next;
+    Cpu& w = cpus_[next];
+    const Cycles wake = std::max(cpu.now(), w.now()) +
+                        mem_.netRoundTrip(cpu.id(), next) / 2 +
+                        cfg_.hubCycles;
+    w.wakeAt(wake);
+    if (cfg_.syncKind == SyncKind::LLSC)
+        ls.lastHolder = next;
+    sched_.ready(next, w.now());
+}
+
+} // namespace ccnuma::sim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The simulated machine: owns the topology, memory system, scheduler,
+ * processors and synchronization objects, and runs application programs.
+ */
+
+#ifndef CCNUMA_SIM_MACHINE_HH
+#define CCNUMA_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/cpu.hh"
+#include "sim/memsys.hh"
+#include "sim/scheduler.hh"
+#include "sim/stats.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+#include "sim/topology.hh"
+
+namespace ccnuma::sim {
+
+/**
+ * One simulated CC-NUMA machine instance.
+ *
+ * Usage:
+ *   Machine m(cfg);
+ *   Addr a = m.alloc(bytes);             // shared arenas
+ *   m.placeBlocked(a, bytes, order);     // optional manual placement
+ *   BarrierId bar = m.barrierCreate();
+ *   RunResult r = m.run([&](Cpu& cpu) -> Task { ... });
+ *
+ * A Machine runs one program; build a fresh Machine per experiment run
+ * (construction is cheap relative to simulation).
+ */
+class Machine
+{
+  public:
+    using Program = std::function<Task(Cpu&)>;
+
+    explicit Machine(const MachineConfig& cfg);
+
+    /// Allocate `bytes` of shared address space, page-aligned.
+    Addr alloc(std::uint64_t bytes);
+    /// Allocate one cache line (for locks, flags, counters).
+    Addr allocLine();
+
+    /// Manual page placement (no-ops unless Placement::Explicit).
+    void
+    place(Addr addr, std::uint64_t bytes, NodeId node)
+    {
+        mem_.place(addr, bytes, node);
+    }
+    /// Place `bytes` from `addr` in contiguous blocks across the nodes of
+    /// processes 0..nprocs-1 in order (the canonical manual layout).
+    void placeAcrossProcs(Addr addr, std::uint64_t bytes);
+
+    /// Create a barrier over `participants` processes (-1 = all).
+    BarrierId barrierCreate(int participants = -1);
+    /// Create a ticket lock.
+    LockId lockCreate();
+
+    /// Run `program` on every processor; returns per-processor stats.
+    RunResult run(const Program& program);
+
+    const MachineConfig& config() const { return cfg_; }
+    Topology& topology() { return topo_; }
+    MemSys& mem() { return mem_; }
+
+    // ---- called by Cpu ----
+    bool barrierArrive(BarrierId b, Cpu& cpu);
+    bool lockAcquire(LockId l, Cpu& cpu);
+    void lockRelease(LockId l, Cpu& cpu);
+    Scheduler& scheduler() { return sched_; }
+
+  private:
+    Cycles syncRmwCost(Cpu& cpu, Addr line, ProcId& last_holder);
+
+    MachineConfig cfg_;
+    Topology topo_;
+    MemSys mem_;
+    Scheduler sched_;
+    std::vector<Cpu> cpus_;
+    std::vector<Task> tasks_;
+    std::deque<BarrierState> barriers_;
+    std::deque<LockState> locks_;
+    Addr nextAddr_ = 1u << 20; // leave page 0 unused
+    bool ran_ = false;
+    std::vector<ProcStats> statsView_;
+};
+
+} // namespace ccnuma::sim
+
+#endif // CCNUMA_SIM_MACHINE_HH

@@ -1,0 +1,460 @@
+#include "sim/memsys.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace ccnuma::sim {
+
+MemSys::MemSys(const MachineConfig& cfg, const Topology& topo)
+    : cfg_(cfg),
+      topo_(topo),
+      pageTable_(cfg, topo.numNodes()),
+      hubFree_(topo.numNodes()),
+      memFree_(topo.numNodes()),
+      metaFree_(std::max(1, topo.numMetaRouters())),
+      pendingFill_(cfg.numProcs),
+      procNode_(cfg.numProcs)
+{
+    caches_.reserve(cfg.numProcs);
+    for (int p = 0; p < cfg.numProcs; ++p) {
+        caches_.push_back(std::make_unique<Cache>(
+            cfg.cacheBytes, cfg.cacheAssoc, cfg.lineBytes));
+        procNode_[p] = topo.nodeOfProcess(p);
+    }
+}
+
+Cycles
+MemSys::useResource(Resource& res, Cycles arrival, Cycles occupancy)
+{
+    // See the Resource doc comment: queueing delay is measured against
+    // the request-timestamp frontier so that a processor the scheduler
+    // happens to run late is not charged for logically-later backlog.
+    const Cycles eff = arrival > res.frontier ? arrival : res.frontier;
+    res.frontier = eff;
+    const Cycles wait = res.freeAt > eff ? res.freeAt - eff : 0;
+    res.freeAt = (res.freeAt > eff ? res.freeAt : eff) + occupancy;
+    return wait;
+}
+
+namespace {
+
+/// Pure one-way network latency for a route (no contention).
+Cycles
+legLatency(const MachineConfig& cfg, const Route& r)
+{
+    if (r.hops == 0 && r.metaCrossings == 0)
+        return 0; // same node: no network traversal
+    return cfg.linkCycles +
+           static_cast<Cycles>(r.hops) * cfg.routerCycles +
+           static_cast<Cycles>(r.metaCrossings) * cfg.metaRouterCycles;
+}
+
+} // namespace
+
+Cycles
+MemSys::netLeg(NodeId from, NodeId to, Cycles arrival)
+{
+    const Route r = topo_.route(from, to);
+    Cycles lat = legLatency(cfg_, r);
+    if (r.metaCrossings > 0 && topo_.numMetaRouters() > 0)
+        lat += useResource(metaFree_[r.metaRouter], arrival,
+                           cfg_.metaRouterOccupancy);
+    return lat;
+}
+
+NodeId
+MemSys::homeOf(ProcId p, Addr addr)
+{
+    return pageTable_.home(addr, procNode_[p]);
+}
+
+Cycles
+MemSys::pureFetch(NodeId me, NodeId home) const
+{
+    Cycles lat = 2 * cfg_.procCycles + 2 * cfg_.hubCycles +
+                 cfg_.dirCycles + cfg_.memCycles;
+    if (home != me) {
+        lat += 2 * cfg_.hubCycles;
+        lat += legLatency(cfg_, topo_.route(me, home)) +
+               legLatency(cfg_, topo_.route(home, me));
+    }
+    return lat;
+}
+
+Cycles
+MemSys::pureDirty(NodeId me, NodeId home, NodeId owner) const
+{
+    Cycles lat = pureFetch(me, home) + 2 * cfg_.hubCycles +
+                 cfg_.interventionCycles;
+    const Cycles fwd = legLatency(cfg_, topo_.route(home, owner));
+    const Cycles rep = legLatency(cfg_, topo_.route(owner, me));
+    const Cycles direct = legLatency(cfg_, topo_.route(home, me));
+    lat += fwd > cfg_.memCycles ? fwd - cfg_.memCycles : 0;
+    lat += rep > direct ? rep - direct : 0;
+    return lat;
+}
+
+Cycles
+MemSys::pureFetchOp(NodeId me, NodeId home) const
+{
+    Cycles lat = 2 * cfg_.procCycles + 2 * cfg_.hubCycles + cfg_.dirCycles;
+    if (home != me) {
+        lat += 2 * cfg_.hubCycles;
+        lat += legLatency(cfg_, topo_.route(me, home)) +
+               legLatency(cfg_, topo_.route(home, me));
+    }
+    return lat;
+}
+
+Cycles
+MemSys::netRoundTrip(ProcId from, ProcId to) const
+{
+    const NodeId a = procNode_[from];
+    const NodeId b = procNode_[to];
+    if (a == b)
+        return cfg_.hubCycles;
+    const Cycles leg = legLatency(cfg_, topo_.route(a, b)) +
+                       legLatency(cfg_, topo_.route(b, a));
+    return leg + 2 * cfg_.hubCycles;
+}
+
+void
+MemSys::handleVictim(ProcId p, Cycles now, const CacheResult& r,
+                     ProcStats& st)
+{
+    if (r.victimState == LineState::Invalid)
+        return;
+    const LineAddr line = r.victim;
+    DirEntry& e = dir_.lookup(line);
+    if (r.victimState == LineState::Dirty) {
+        // Write the line back to its home memory. The writeback is off
+        // the critical path but consumes Hub and memory bandwidth at the
+        // victim's home node -- the protocol-traffic contention the paper
+        // blames for Radix's behaviour.
+        const NodeId home = pageTable_.home(line, procNode_[p]);
+        useResource(hubFree_[home], now, cfg_.hubOccupancy);
+        useResource(memFree_[home], now, cfg_.memOccupancy);
+        ++st.c.writebacks;
+        e.state = DirState::Uncached;
+        e.owner = kNoProc;
+        e.sharers.clear();
+        dir_.drop(line);
+    } else {
+        e.sharers.remove(p);
+        if (e.owner == p)
+            e.owner = kNoProc;
+        if (e.sharers.empty()) {
+            e.state = DirState::Uncached;
+            dir_.drop(line);
+        }
+    }
+}
+
+Cycles
+MemSys::invalidateSharers(ProcId requester, NodeId home, Cycles now,
+                          LineAddr line, DirEntry& e, ProcStats& st)
+{
+    const NodeId myNode = procNode_[requester];
+    int n = 0;
+    Cycles worst_legs = 0;
+    e.sharers.forEach([&](ProcId s) {
+        if (s == requester)
+            return;
+        caches_[s]->invalidate(line); // line is a full line base address
+        if (allStats_)
+            ++(*allStats_)[s].c.invalsReceived;
+        ++st.c.invalsSent;
+        ++n;
+        const NodeId sn = procNode_[s];
+        useResource(hubFree_[sn], now, cfg_.hubOccupancy);
+        const Cycles legs = legLatency(cfg_, topo_.route(home, sn)) +
+                            legLatency(cfg_, topo_.route(sn, myNode));
+        worst_legs = std::max(worst_legs, legs);
+    });
+    if (n == 0)
+        return 0;
+    // Invalidations fan out from the home in parallel; the requester
+    // observes the slowest ack plus a small serialization per message.
+    return worst_legs + cfg_.hubCycles +
+           cfg_.invalPerSharerCycles * static_cast<Cycles>(n - 1);
+}
+
+Cycles
+MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
+{
+    if (write)
+        ++st.c.stores;
+    else
+        ++st.c.loads;
+
+    Cache& cache = *caches_[p];
+    const LineAddr line =
+        addr & ~static_cast<Addr>(cfg_.lineBytes - 1);
+    const CacheResult res = cache.access(addr, write);
+
+    if (res.hit && !res.upgrade) {
+        Cycles lat = cfg_.l2HitCycles;
+        auto& pend = pendingFill_[p];
+        if (!pend.empty()) {
+            auto it = pend.find(line);
+            if (it != pend.end()) {
+                if (it->second > now)
+                    lat += it->second - now;
+                ++st.c.prefetchesUseful;
+                pend.erase(it);
+            }
+        }
+        ++st.c.l2Hits;
+        return lat;
+    }
+
+    const NodeId myNode = procNode_[p];
+    const NodeId home = pageTable_.home(addr, myNode);
+    Cycles migration_stall = 0;
+    if (pageTable_.noteAccess(addr, myNode)) {
+        // Page migrated to myNode: the 16 KB copy occupies both
+        // memories (one page of line transfers), and the triggering
+        // access stalls for the full OS/TLB-shootdown latency.
+        useResource(memFree_[home], now, cfg_.migrationCycles / 4);
+        useResource(memFree_[myNode], now, cfg_.migrationCycles / 4);
+        migration_stall = cfg_.migrationCycles;
+        ++st.c.pageMigrations;
+    }
+
+    DirEntry& e = dir_.lookup(line);
+    // `lat` accumulates the elapsed transaction latency; each stage's
+    // resource sees arrival time now+lat, so queueing delays compose
+    // sequentially instead of being double-counted.
+    Cycles lat = 0;
+
+    if (res.hit && res.upgrade) {
+        // Write hit on a Shared line: ownership upgrade at the home.
+        ++st.c.upgrades;
+        lat = cfg_.procCycles;
+        lat += useResource(hubFree_[myNode], now + lat,
+                           cfg_.hubOccupancy);
+        lat += cfg_.hubCycles; // traversal out
+        if (home != myNode) {
+            lat += netLeg(myNode, home, now + lat);
+            lat += useResource(hubFree_[home], now + lat,
+                               cfg_.hubOccupancy);
+            lat += cfg_.hubCycles + cfg_.dirCycles;
+            lat += invalidateSharers(p, home, now + lat, line, e, st);
+            lat += cfg_.hubCycles; // home hub out
+            lat += netLeg(home, myNode, now + lat);
+        } else {
+            lat += cfg_.dirCycles;
+            lat += invalidateSharers(p, home, now + lat, line, e, st);
+        }
+        lat += cfg_.hubCycles + cfg_.procCycles; // own hub in, retire
+        e.state = DirState::Dirty;
+        e.owner = p;
+        e.sharers.clear();
+        e.sharers.add(p);
+        return lat;
+    }
+
+    // True miss: victim first, then the fill transaction.
+    handleVictim(p, now, res, st);
+    pendingFill_[p].erase(line);
+
+    const bool dirty_elsewhere =
+        e.state == DirState::Dirty && e.owner != kNoProc && e.owner != p;
+
+    // Request leg: processor -> own Hub (-> network -> home Hub).
+    lat = cfg_.procCycles;
+    lat += useResource(hubFree_[myNode], now + lat, cfg_.hubOccupancy);
+    lat += cfg_.hubCycles; // own hub, outbound traversal
+    if (home != myNode) {
+        lat += netLeg(myNode, home, now + lat);
+        lat += useResource(hubFree_[home], now + lat, cfg_.hubOccupancy);
+        lat += cfg_.hubCycles; // home hub, inbound traversal
+    }
+    // Home: directory lookup + (possibly speculative) memory read.
+    lat += cfg_.dirCycles;
+    lat += useResource(memFree_[home], now + lat, cfg_.memOccupancy);
+    lat += cfg_.memCycles;
+
+    if (dirty_elsewhere) {
+        // 3-hop: the home forwards to the owner concurrently with its
+        // speculative memory read; the owner replies directly to the
+        // requester. The requester pays the intervention plus however
+        // much the forward leg exceeds the overlapped memory access and
+        // the reply leg exceeds the direct home->requester leg.
+        const ProcId owner = e.owner;
+        const NodeId on = procNode_[owner];
+        lat += useResource(hubFree_[on], now + lat, cfg_.hubOccupancy);
+        lat += 2 * cfg_.hubCycles + cfg_.interventionCycles;
+        const Cycles fwd = legLatency(cfg_, topo_.route(home, on));
+        const Cycles rep = legLatency(cfg_, topo_.route(on, myNode));
+        const Cycles direct = legLatency(cfg_, topo_.route(home, myNode));
+        lat += fwd > cfg_.memCycles ? fwd - cfg_.memCycles : 0;
+        lat += rep > direct ? rep - direct : 0;
+        ++st.c.missRemoteDirty;
+        if (write) {
+            caches_[owner]->invalidate(line);
+            if (allStats_)
+                ++(*allStats_)[owner].c.invalsReceived;
+            e.owner = p;
+            e.sharers.clear();
+            e.sharers.add(p);
+            // state stays Dirty
+        } else {
+            caches_[owner]->downgrade(line);
+            // Owner's dirty data is written back to home memory.
+            useResource(memFree_[home], now, cfg_.memOccupancy);
+            e.state = DirState::Shared;
+            e.owner = kNoProc;
+            e.sharers.add(p);
+        }
+    } else {
+        if (home == myNode)
+            ++st.c.missLocal;
+        else
+            ++st.c.missRemoteClean;
+        if (write) {
+            lat += invalidateSharers(p, home, now + lat, line, e, st);
+            e.state = DirState::Dirty;
+            e.owner = p;
+            e.sharers.clear();
+            e.sharers.add(p);
+        } else {
+            if (e.state == DirState::Dirty && e.owner == p) {
+                // Stale directory (should not happen); repair.
+                e.state = DirState::Shared;
+                e.owner = kNoProc;
+            }
+            e.state = e.state == DirState::Uncached ? DirState::Shared
+                                                    : e.state;
+            e.sharers.add(p);
+        }
+    }
+    // Reply leg: (home hub out -> network ->) own Hub in -> processor.
+    if (home != myNode) {
+        lat += cfg_.hubCycles;
+        lat += netLeg(home, myNode, now + lat);
+    }
+    lat += cfg_.hubCycles + cfg_.procCycles;
+    return lat + migration_stall;
+}
+
+void
+MemSys::prefetch(ProcId p, Cycles now, Addr addr, ProcStats& st)
+{
+    Cache& cache = *caches_[p];
+    if (cache.probe(addr) != LineState::Invalid)
+        return; // already resident
+    const LineAddr line =
+        addr & ~static_cast<Addr>(cfg_.lineBytes - 1);
+    // Run the read transaction; loads/l2Hits counters are not disturbed.
+    ProcStats scratch;
+    const Cycles lat = access(p, now, addr, false, scratch);
+    st.c.missLocal += scratch.c.missLocal;
+    st.c.missRemoteClean += scratch.c.missRemoteClean;
+    st.c.missRemoteDirty += scratch.c.missRemoteDirty;
+    st.c.writebacks += scratch.c.writebacks;
+    st.c.pageMigrations += scratch.c.pageMigrations;
+    ++st.c.prefetchesIssued;
+    pendingFill_[p][line] = now + lat;
+}
+
+Cycles
+MemSys::fetchOp(ProcId p, Cycles now, Addr addr, ProcStats& st)
+{
+    // Served at the home Hub's at-memory ALU; never cached.
+    (void)st;
+    const NodeId myNode = procNode_[p];
+    const NodeId home = pageTable_.home(addr, myNode);
+    Cycles lat = cfg_.procCycles;
+    lat += useResource(hubFree_[myNode], now + lat, cfg_.hubOccupancy);
+    lat += cfg_.hubCycles;
+    if (home != myNode) {
+        lat += netLeg(myNode, home, now + lat);
+        lat += useResource(hubFree_[home], now + lat, cfg_.hubOccupancy);
+        lat += cfg_.hubCycles + cfg_.dirCycles;
+        lat += cfg_.hubCycles;
+        lat += netLeg(home, myNode, now + lat);
+    } else {
+        lat += cfg_.dirCycles;
+    }
+    lat += cfg_.hubCycles + cfg_.procCycles;
+    return lat;
+}
+
+Cycles
+MemSys::llscRmw(ProcId p, Cycles now, Addr addr, ProcStats& st)
+{
+    // LL + compute + SC: a write access (exclusive ownership) plus a few
+    // cycles; failed-SC retry storms are modelled by the callers'
+    // contention on the lock line itself.
+    return access(p, now, addr, true, st) + 4;
+}
+
+
+std::string
+MemSys::validateCoherence() const
+{
+    std::ostringstream err;
+    // Pass 1: every cached line is covered by a directory entry whose
+    // state matches.
+    for (int p = 0; p < cfg_.numProcs && err.str().empty(); ++p) {
+        caches_[p]->forEachLine([&](Addr line, LineState st) {
+            if (!err.str().empty())
+                return;
+            const DirEntry* e = dir_.probe(line);
+            if (!e || e->state == DirState::Uncached) {
+                err << "proc " << p << " caches line 0x" << std::hex
+                    << line << std::dec << " with no directory entry";
+                return;
+            }
+            if (st == LineState::Dirty) {
+                if (e->state != DirState::Dirty || e->owner != p)
+                    err << "proc " << p << " holds 0x" << std::hex
+                        << line << std::dec
+                        << " Dirty but directory disagrees";
+            } else if (!e->sharers.contains(p)) {
+                err << "proc " << p << " holds 0x" << std::hex << line
+                    << std::dec << " but is not a registered sharer";
+            }
+        });
+    }
+    if (!err.str().empty())
+        return err.str();
+    // Pass 2: directory entries match the caches.
+    dir_.forEach([&](LineAddr line, const DirEntry& e) {
+        if (!err.str().empty())
+            return;
+        if (e.state == DirState::Dirty) {
+            if (e.owner == kNoProc) {
+                err << "Dirty entry 0x" << std::hex << line << std::dec
+                    << " without owner";
+                return;
+            }
+            if (caches_[e.owner]->probe(line) != LineState::Dirty)
+                err << "directory says proc " << e.owner << " owns 0x"
+                    << std::hex << line << std::dec
+                    << " Dirty, cache disagrees";
+            int holders = 0;
+            for (int p = 0; p < cfg_.numProcs; ++p)
+                if (caches_[p]->probe(line) != LineState::Invalid)
+                    ++holders;
+            if (holders != 1)
+                err << "Dirty line 0x" << std::hex << line << std::dec
+                    << " has " << holders << " cached copies";
+        } else if (e.state == DirState::Shared) {
+            e.sharers.forEach([&](ProcId s) {
+                if (caches_[s]->probe(line) == LineState::Invalid)
+                    err << "registered sharer " << s
+                        << " does not cache 0x" << std::hex << line
+                        << std::dec;
+                else if (caches_[s]->probe(line) == LineState::Dirty)
+                    err << "sharer " << s << " holds 0x" << std::hex
+                        << line << std::dec << " Dirty on Shared entry";
+            });
+        }
+    });
+    return err.str();
+}
+
+} // namespace ccnuma::sim

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The coherent memory system: per-processor L2 caches, the full-bit-vector
+ * directory protocol, page homing/migration, and queued-resource
+ * contention at Hubs, node memories and metarouters.
+ *
+ * Latency composition follows the Origin2000 transaction flows:
+ *  - local miss:     proc -> hub -> dir+mem -> hub -> proc
+ *  - remote clean:   proc -> hub -> net -> home hub -> dir+mem -> net -> ...
+ *  - remote dirty:   3-hop; home forwards to the owner, which supplies the
+ *                    line directly to the requester.
+ * Contention is modelled with busy-until timestamps at the requester Hub,
+ * home Hub, home memory, the dirty owner's Hub, invalidated sharers' Hubs
+ * and any metarouter crossed. (Ordinary routers are treated as
+ * contention-free: on the real machine their occupancy per flit is far
+ * below Hub/memory occupancy; metarouters are shared by whole modules and
+ * are kept as contention points.)
+ */
+
+#ifndef CCNUMA_SIM_MEMSYS_HH
+#define CCNUMA_SIM_MEMSYS_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "sim/directory.hh"
+#include "sim/pagetable.hh"
+#include "sim/stats.hh"
+#include "sim/topology.hh"
+#include "sim/types.hh"
+
+namespace ccnuma::sim {
+
+/** Classification of a completed access, for accounting. */
+enum class AccessClass : std::uint8_t {
+    Hit,
+    LocalMiss,
+    RemoteClean,
+    RemoteDirty,
+    Upgrade,
+};
+
+/**
+ * The shared memory system of one simulated machine.
+ *
+ * All methods take the logical process id and its current local time;
+ * they return the latency the access contributes to that processor and
+ * update contention clocks and statistics.
+ */
+class MemSys
+{
+  public:
+    MemSys(const MachineConfig& cfg, const Topology& topo);
+
+    /// A demand load/store at byte address `addr` by process `p` at local
+    /// time `now`. Returns the stall latency in cycles.
+    Cycles access(ProcId p, Cycles now, Addr addr, bool write,
+                  ProcStats& st);
+
+    /// A non-binding prefetch: runs the read transaction, installs the
+    /// line, but the processor does not stall. Completion is recorded so a
+    /// subsequent demand access pays only the remaining latency.
+    void prefetch(ProcId p, Cycles now, Addr addr, ProcStats& st);
+
+    /// Uncached at-memory fetch&op on `addr` (Section 6.3).
+    Cycles fetchOp(ProcId p, Cycles now, Addr addr, ProcStats& st);
+
+    /// An LL-SC style read-modify-write: a write access plus fixed cost.
+    Cycles llscRmw(ProcId p, Cycles now, Addr addr, ProcStats& st);
+
+    /// Round-trip network latency between two processes' nodes, without
+    /// memory access; used by the synchronization cost model.
+    Cycles netRoundTrip(ProcId from, ProcId to) const;
+
+    // ---- Pure (contention-free, state-free) latency queries ----
+    // Used by the synchronization layer, which models its own
+    // serialization episode-exactly and must not disturb global clocks.
+
+    /// Clean fetch latency from `home` as seen by node `me`.
+    Cycles pureFetch(NodeId me, NodeId home) const;
+    /// 3-hop dirty-transfer latency (owner's cache supplies the line).
+    Cycles pureDirty(NodeId me, NodeId home, NodeId owner) const;
+    /// Uncached at-memory fetch&op latency.
+    Cycles pureFetchOp(NodeId me, NodeId home) const;
+    /// Home node used for synchronization variables at `addr`.
+    NodeId syncHomeOf(Addr addr) { return pageTable_.home(addr, 0); }
+
+    /// Home node of the page containing `addr` (first-touching as `p`).
+    NodeId homeOf(ProcId p, Addr addr);
+
+    /// Explicit manual placement passthrough.
+    void place(Addr addr, std::uint64_t bytes, NodeId node)
+    {
+        pageTable_.place(addr, bytes, node);
+    }
+    void placeBlocked(Addr addr, std::uint64_t bytes,
+                      const std::vector<NodeId>& order)
+    {
+        pageTable_.placeBlocked(addr, bytes, order);
+    }
+
+    const PageTable& pageTable() const { return pageTable_; }
+    const Cache& cache(ProcId p) const { return *caches_[p]; }
+    const Directory& directory() const { return dir_; }
+    const Topology& topology() const { return topo_; }
+    const MachineConfig& config() const { return cfg_; }
+
+    NodeId nodeOfProcess(ProcId p) const { return procNode_[p]; }
+
+    /**
+     * Validate the coherence invariants between every cache and the
+     * directory:
+     *  - a Dirty directory entry has exactly one cached copy, Dirty,
+     *    at its owner;
+     *  - a Shared entry's sharers all hold the line non-Dirty, and
+     *    nobody else holds it;
+     *  - every valid cached line has a directory entry covering it.
+     * @return empty string if consistent, else a description of the
+     *         first violation (debug/testing aid; O(total cache lines)).
+     */
+    std::string validateCoherence() const;
+
+    /**
+     * A queued hardware resource (Hub, node memory, metarouter).
+     *
+     * `freeAt` is the FCFS completion frontier; `frontier` is the latest
+     * request timestamp seen. Because the scheduler executes processors
+     * in only *approximate* time order, a request can be processed after
+     * a logically-later one; measuring queueing delay against
+     * max(arrival, frontier) keeps such a request from being charged for
+     * backlog that logically arrived after it, while still enforcing the
+     * resource's service-rate (throughput) limit.
+     */
+    struct Resource {
+        Cycles freeAt = 0;
+        Cycles frontier = 0;
+    };
+
+  private:
+    /// Advance a resource; returns queueing delay seen at `arrival`.
+    Cycles useResource(Resource& res, Cycles arrival, Cycles occupancy);
+
+    /// One-way network latency between nodes, charging metarouter
+    /// occupancy when a metarouter is crossed.
+    Cycles netLeg(NodeId from, NodeId to, Cycles arrival);
+
+    /// Handle eviction side effects (directory update, dirty writeback).
+    void handleVictim(ProcId p, Cycles now, const CacheResult& r,
+                      ProcStats& st);
+
+    /// Invalidate all sharers of `line` other than `keeper`; returns the
+    /// fan-out latency component observed by the requester.
+    Cycles invalidateSharers(ProcId requester, NodeId home, Cycles now,
+                             LineAddr line, DirEntry& e, ProcStats& st);
+
+    const MachineConfig cfg_;
+    const Topology& topo_;
+    PageTable pageTable_;
+    Directory dir_;
+    std::vector<std::unique_ptr<Cache>> caches_;
+    std::vector<ProcStats>* allStats_ = nullptr;
+
+    // Contention clocks.
+    std::vector<Resource> hubFree_;
+    std::vector<Resource> memFree_;
+    std::vector<Resource> metaFree_;
+
+    // Pending prefetch completions: (proc, line) -> ready time.
+    std::vector<std::unordered_map<LineAddr, Cycles>> pendingFill_;
+
+    std::vector<NodeId> procNode_; ///< process -> node (via mapping)
+
+    friend class Machine;
+    void attachStats(std::vector<ProcStats>* s) { allStats_ = s; }
+};
+
+} // namespace ccnuma::sim
+
+#endif // CCNUMA_SIM_MEMSYS_HH

@@ -1,0 +1,116 @@
+#include "sim/pagetable.hh"
+
+#include <cassert>
+
+namespace ccnuma::sim {
+
+PageTable::PageTable(const MachineConfig& cfg, int num_nodes)
+    : pageBytes_(cfg.pageBytes),
+      placement_(cfg.placement),
+      migration_(cfg.pageMigration),
+      migrationThreshold_(cfg.migrationThreshold),
+      numNodes_(num_nodes)
+{
+}
+
+PageInfo&
+PageTable::info(Addr addr)
+{
+    const std::uint64_t pn = addr / pageBytes_;
+    if (pn >= pages_.size())
+        pages_.resize(pn + 1);
+    return pages_[pn];
+}
+
+NodeId
+PageTable::home(Addr addr, NodeId toucher)
+{
+    PageInfo& pi = info(addr);
+    if (pi.home != kNoNode)
+        return pi.home;
+    switch (placement_) {
+      case Placement::FirstTouch:
+      case Placement::Explicit:
+        // Explicit placement falls back to first-touch for pages the
+        // application did not place, matching IRIX behaviour.
+        pi.home = toucher;
+        break;
+      case Placement::RoundRobin:
+        pi.home = static_cast<NodeId>(rrNext_++ % numNodes_);
+        break;
+    }
+    return pi.home;
+}
+
+void
+PageTable::place(Addr addr, std::uint64_t bytes, NodeId node)
+{
+    assert(node >= 0 && node < numNodes_);
+    if (placement_ != Placement::Explicit)
+        return; // manual hints are ignored under other policies
+    const Addr first = addr / pageBytes_;
+    const Addr last = (addr + (bytes ? bytes - 1 : 0)) / pageBytes_;
+    for (Addr pn = first; pn <= last; ++pn)
+        info(pn * pageBytes_).home = node;
+}
+
+void
+PageTable::placeBlocked(Addr addr, std::uint64_t bytes,
+                        const std::vector<NodeId>& order)
+{
+    if (order.empty() || bytes == 0)
+        return;
+    const std::uint64_t chunk =
+        (bytes + order.size() - 1) / order.size();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const std::uint64_t off = i * chunk;
+        if (off >= bytes)
+            break;
+        place(addr + off, std::min<std::uint64_t>(chunk, bytes - off),
+              order[i]);
+    }
+}
+
+bool
+PageTable::noteAccess(Addr addr, NodeId accessor)
+{
+    if (!migration_)
+        return false;
+    PageInfo& pi = info(addr);
+    if (pi.home == kNoNode || accessor == pi.home) {
+        // Home-node access: decay the challenger's score.
+        if (pi.score > 0)
+            --pi.score;
+        return false;
+    }
+    if (pi.migrations >= 1)
+        return false; // dampened: one migration per page (IRIX-style)
+    if (pi.candidate == accessor) {
+        if (++pi.score >= migrationThreshold_) {
+            pi.home = accessor;
+            pi.candidate = kNoNode;
+            pi.score = 0;
+            ++pi.migrations;
+            ++totalMigrations_;
+            return true;
+        }
+    } else if (pi.score == 0) {
+        pi.candidate = accessor;
+        pi.score = 1;
+    } else {
+        --pi.score;
+    }
+    return false;
+}
+
+std::vector<std::uint64_t>
+PageTable::pagesPerNode() const
+{
+    std::vector<std::uint64_t> counts(numNodes_, 0);
+    for (const PageInfo& pi : pages_)
+        if (pi.home != kNoNode)
+            ++counts[pi.home];
+    return counts;
+}
+
+} // namespace ccnuma::sim

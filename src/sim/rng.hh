@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Small deterministic RNG (xoshiro256**) used by application skeletons so
+ * results are reproducible and independent of the C++ library.
+ */
+
+#ifndef CCNUMA_SIM_RNG_HH
+#define CCNUMA_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace ccnuma::sim {
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // SplitMix64 seeding.
+        std::uint64_t z = seed;
+        for (auto& s : s_) {
+            z += 0x9E3779B97F4A7C15ull;
+            std::uint64_t x = z;
+            x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+            x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+            s = x ^ (x >> 31);
+        }
+    }
+
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, n).
+    std::uint64_t range(std::uint64_t n) { return n ? next() % n : 0; }
+
+    /// Uniform double in [0, 1).
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t s_[4];
+};
+
+} // namespace ccnuma::sim
+
+#endif // CCNUMA_SIM_RNG_HH

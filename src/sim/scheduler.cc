@@ -1,0 +1,47 @@
+#include "sim/scheduler.hh"
+
+#include <stdexcept>
+
+#include "sim/cpu.hh"
+
+namespace ccnuma::sim {
+
+void
+Scheduler::ready(ProcId p, Cycles time)
+{
+    if (static_cast<std::size_t>(p) >= queuedTime_.size())
+        queuedTime_.resize(p + 1, 0);
+    state_[p] = State::Ready;
+    queuedTime_[p] = time;
+    pq_.push(Entry{time, seq_++, p});
+}
+
+void
+Scheduler::run()
+{
+    const Cycles quantum = quantum_;
+    while (live_ > 0) {
+        if (pq_.empty())
+            throw std::runtime_error(
+                "simulator deadlock: processors blocked with no runnable "
+                "work (missing barrier participant or unreleased lock?)");
+        const Entry e = pq_.top();
+        pq_.pop();
+        if (state_[e.p] != State::Ready || queuedTime_[e.p] != e.time)
+            continue; // stale heap entry
+        current_ = e.p;
+        Cpu& cpu = (*cpus_)[e.p];
+        cpu.beginQuantum(quantum);
+        // Mark not-ready so a stale pop can't double-run us; the
+        // coroutine re-queues itself via ready()/block() on suspension.
+        state_[e.p] = State::Blocked;
+        handle_[e.p].resume();
+        if (handle_[e.p].done()) {
+            state_[e.p] = State::Done;
+            --live_;
+        }
+    }
+    current_ = kNoProc;
+}
+
+} // namespace ccnuma::sim

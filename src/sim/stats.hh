@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-processor time and event accounting, and the execution-time
+ * breakdown (Busy / Memory / Synchronization) used throughout the paper's
+ * figures.
+ */
+
+#ifndef CCNUMA_SIM_STATS_HH
+#define CCNUMA_SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ccnuma::sim {
+
+/** Event counters for one processor. */
+struct ProcCounters {
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t missLocal = 0;
+    std::uint64_t missRemoteClean = 0;
+    std::uint64_t missRemoteDirty = 0;
+    std::uint64_t upgrades = 0;
+    std::uint64_t invalsSent = 0;
+    std::uint64_t invalsReceived = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t prefetchesUseful = 0;
+    std::uint64_t pageMigrations = 0;
+    std::uint64_t lockAcquires = 0;
+    std::uint64_t barriersPassed = 0;
+
+    std::uint64_t misses() const
+    {
+        return missLocal + missRemoteClean + missRemoteDirty;
+    }
+    std::uint64_t remoteMisses() const
+    {
+        return missRemoteClean + missRemoteDirty;
+    }
+};
+
+/** Time accumulators for one processor (cycles). */
+struct ProcTimes {
+    Cycles busy = 0;     ///< Computation.
+    Cycles memStall = 0; ///< Waiting for cache misses (incl. hits' cost).
+    Cycles syncWait = 0; ///< Idle at barriers / contended locks.
+    Cycles syncOp = 0;   ///< Cost of synchronization operations.
+
+    Cycles total() const { return busy + memStall + syncWait + syncOp; }
+    Cycles sync() const { return syncWait + syncOp; }
+};
+
+/** Full stats for one processor. */
+struct ProcStats {
+    ProcTimes t;
+    ProcCounters c;
+};
+
+/** Busy/Memory/Sync fractions of an execution (Figure 3 style). */
+struct Breakdown {
+    double busy = 0, mem = 0, sync = 0;
+};
+
+/** Result of one simulated run. */
+struct RunResult {
+    Cycles time = 0;                ///< Max completion time over procs.
+    std::vector<ProcStats> procs;   ///< Indexed by logical process.
+    std::uint64_t pageMigrations = 0;
+
+    /// Average breakdown across processors, normalized per processor.
+    Breakdown breakdown() const;
+    /// Per-processor breakdown, normalizing against that proc's total.
+    Breakdown breakdown(int p) const;
+    /// Aggregate counters summed over processors.
+    ProcCounters totals() const;
+    /// Sum of all time categories over processors (cost metric).
+    Cycles aggregateCycles() const;
+};
+
+/// speedup = seq_time / par_time.
+inline double
+speedup(Cycles seq_time, Cycles par_time)
+{
+    return par_time == 0 ? 0.0
+                         : static_cast<double>(seq_time) / par_time;
+}
+
+/// Parallel efficiency = speedup / nprocs (the paper's primary metric).
+inline double
+efficiency(Cycles seq_time, Cycles par_time, int nprocs)
+{
+    return nprocs == 0 ? 0.0 : speedup(seq_time, par_time) / nprocs;
+}
+
+} // namespace ccnuma::sim
+
+#endif // CCNUMA_SIM_STATS_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Synchronization objects: ticket locks and barriers, implemented over
+ * either LL-SC cached-line operations or the Origin's at-memory fetch&op
+ * (Section 6.3). Wait time (imbalance) and operation overhead are
+ * accounted separately, since the paper's key finding is that wait time
+ * dominates regardless of primitive.
+ */
+
+#ifndef CCNUMA_SIM_SYNC_HH
+#define CCNUMA_SIM_SYNC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ccnuma::sim {
+
+/** Opaque handle types the application code passes around. */
+struct BarrierId { int idx = -1; };
+struct LockId { int idx = -1; };
+
+/** Internal state of one barrier. */
+struct BarrierState {
+    int participants = 0;
+    Addr line = 0; ///< Home line for the cost model.
+    ProcId lastHolder = kNoProc; ///< LL-SC line-bouncing chain.
+    /// (arrival time after the arrival op, proc) of everyone arrived in
+    /// this episode, including the eventual last arriver.
+    std::vector<std::pair<Cycles, ProcId>> arrivals;
+};
+
+/** Internal state of one ticket lock. */
+struct LockState {
+    bool held = false;
+    ProcId owner = kNoProc;
+    Addr line = 0;
+    ProcId lastHolder = kNoProc; ///< LL-SC line-bouncing chain.
+    std::vector<std::pair<ProcId, Cycles>> waiters; ///< FIFO ticket queue.
+};
+
+} // namespace ccnuma::sim
+
+#endif // CCNUMA_SIM_SYNC_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Coroutine task type for simulated processors.
+ *
+ * Each simulated processor runs one top-level C++20 coroutine. Memory
+ * and busy operations are plain (non-suspending) Cpu method calls that
+ * advance the processor's local clock; suspension happens only at
+ * `co_await cpu.checkpoint()` yield points and at blocking
+ * synchronization (`co_await cpu.barrier(..)`, `co_await cpu.acquire(..)`).
+ */
+
+#ifndef CCNUMA_SIM_TASK_HH
+#define CCNUMA_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace ccnuma::sim {
+
+/**
+ * Owning handle to a per-processor coroutine. Created suspended; the
+ * scheduler resumes it until completion.
+ */
+class Task
+{
+  public:
+    struct promise_type {
+        Task get_return_object()
+        {
+            return Task{Handle::from_promise(*this)};
+        }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() noexcept {}
+        void unhandled_exception() { excep = std::current_exception(); }
+
+        std::exception_ptr excep;
+    };
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(Handle h) : handle_(h) {}
+    Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+    Task&
+    operator=(Task&& o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, nullptr);
+        }
+        return *this;
+    }
+    Task(const Task&) = delete;
+    Task& operator=(const Task&) = delete;
+    ~Task() { destroy(); }
+
+    Handle handle() const { return handle_; }
+    bool done() const { return !handle_ || handle_.done(); }
+
+    /// Rethrow any exception the coroutine ended with.
+    void
+    rethrowIfFailed() const
+    {
+        if (handle_ && handle_.promise().excep)
+            std::rethrow_exception(handle_.promise().excep);
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+    Handle handle_;
+};
+
+} // namespace ccnuma::sim
+
+#endif // CCNUMA_SIM_TASK_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fundamental types shared across the CC-NUMA simulator.
+ */
+
+#ifndef CCNUMA_SIM_TYPES_HH
+#define CCNUMA_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ccnuma::sim {
+
+/** Simulated byte address in the shared address space. */
+using Addr = std::uint64_t;
+
+/** Simulated time, in processor clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Processor, node and router identifiers. */
+using ProcId = int;
+using NodeId = int;
+using RouterId = int;
+
+/** Sentinel for "no processor". */
+inline constexpr ProcId kNoProc = -1;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kNoNode = -1;
+
+/** Maximum number of processors the directory sharer bitmap supports. */
+inline constexpr int kMaxProcs = 256;
+
+/** An address rounded down to its cache-line base. */
+using LineAddr = std::uint64_t;
+
+/** An address divided by the page size. */
+using PageNum = std::uint64_t;
+
+/** Cycle value used to mean "never" / "not pending". */
+inline constexpr Cycles kNever = std::numeric_limits<Cycles>::max();
+
+} // namespace ccnuma::sim
+
+#endif // CCNUMA_SIM_TYPES_HH

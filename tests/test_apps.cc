@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Integration tests: every application (and variant) runs to
+ * completion on small machines, is deterministic, and exhibits the key
+ * qualitative behaviours the study depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "core/study.hh"
+
+using namespace ccnuma;
+
+namespace {
+
+/// Small problem size per app for fast tests.
+std::uint64_t
+testSize(const std::string& name)
+{
+    if (name.rfind("fft", 0) == 0)
+        return 1u << 14;
+    if (name.rfind("ocean", 0) == 0)
+        return 130;
+    if (name.rfind("radix", 0) == 0 || name.rfind("samplesort", 0) == 0)
+        return 1u << 16;
+    if (name.rfind("barnes", 0) == 0)
+        return 2048;
+    if (name.rfind("water", 0) == 0)
+        return 512;
+    if (name.rfind("raytrace", 0) == 0)
+        return 32;
+    if (name.rfind("volrend", 0) == 0 || name.rfind("shearwarp", 0) == 0)
+        return 32;
+    if (name.rfind("infer", 0) == 0)
+        return 64;
+    if (name.rfind("protein", 0) == 0)
+        return 8;
+    return 0;
+}
+
+const std::vector<std::string>&
+allVariants()
+{
+    static const std::vector<std::string> v = {
+        "fft",
+        "fft-nostagger",
+        "fft-prefetch",
+        "fft-implicit",
+        "ocean",
+        "ocean-rowwise",
+        "radix",
+        "radix-prefetch",
+        "samplesort",
+        "samplesort-prefetch",
+        "barnes",
+        "barnes-mergetree",
+        "barnes-spatial",
+        "water-nsq",
+        "water-nsq-interchanged",
+        "water-spatial",
+        "raytrace",
+        "raytrace-nostatslock",
+        "volrend",
+        "volrend-balanced",
+        "shearwarp",
+        "shearwarp-locality",
+        "infer",
+        "infer-static",
+        "protein",
+        "protein-noregroup",
+    };
+    return v;
+}
+
+} // namespace
+
+class AppRuns : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AppRuns, CompletesOnEightProcs)
+{
+    sim::MachineConfig cfg;
+    cfg.numProcs = 8;
+    auto app = apps::makeApp(GetParam(), testSize(GetParam()));
+    const sim::RunResult r = core::runApp(cfg, *app);
+    EXPECT_GT(r.time, 0u);
+    // Every processor did *something* (ran to completion).
+    for (const auto& ps : r.procs)
+        EXPECT_GT(ps.t.total(), 0u);
+}
+
+TEST_P(AppRuns, CompletesOnOneProc)
+{
+    sim::MachineConfig cfg;
+    cfg.numProcs = 1;
+    auto app = apps::makeApp(GetParam(), testSize(GetParam()));
+    const sim::RunResult r = core::runApp(cfg, *app);
+    EXPECT_GT(r.procs[0].t.busy, 0u);
+}
+
+TEST_P(AppRuns, DeterministicTiming)
+{
+    auto once = [&] {
+        sim::MachineConfig cfg;
+        cfg.numProcs = 4;
+        auto app = apps::makeApp(GetParam(), testSize(GetParam()));
+        return core::runApp(cfg, *app).time;
+    };
+    EXPECT_EQ(once(), once());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppRuns,
+                         ::testing::ValuesIn(allVariants()),
+                         [](const auto& info) {
+                             std::string n = info.param;
+                             for (auto& ch : n)
+                                 if (ch == '-')
+                                     ch = '_';
+                             return n;
+                         });
+
+TEST(AppBehaviour, SpeedupIsReasonableAtEightProcs)
+{
+    // Compute-dominated apps should get decent speedups at small P.
+    for (const char* name : {"water-nsq", "barnes", "raytrace"}) {
+        std::map<std::string, sim::Cycles> cache;
+        sim::MachineConfig cfg;
+        cfg.numProcs = 8;
+        const auto mres = core::measure(
+            cfg, [&] { return apps::makeApp(name, testSize(name)); });
+        EXPECT_GT(mres.speedup(), 4.0) << name;
+        EXPECT_LT(mres.speedup(), 16.0) << name;
+    }
+}
+
+TEST(AppBehaviour, WaterNsqInterchangeHelpsWhenCacheTooSmall)
+{
+    // With a cache far smaller than the partner set, the original loop
+    // order thrashes and the interchange wins big (Fig 10 d-e).
+    sim::MachineConfig cfg;
+    cfg.numProcs = 8;
+    cfg.cacheBytes = 32u << 10;
+    auto orig = apps::makeApp("water-nsq", 2048);
+    auto restr = apps::makeApp("water-nsq-interchanged", 2048);
+    const auto r0 = core::runApp(cfg, *orig);
+    const auto r1 = core::runApp(cfg, *restr);
+    EXPECT_LT(r1.time, r0.time / 2);
+}
+
+TEST(AppBehaviour, RegistryRejectsUnknown)
+{
+    EXPECT_THROW(apps::makeApp("nosuchapp", 1), std::invalid_argument);
+    EXPECT_THROW(apps::basicSize("nosuchapp"), std::invalid_argument);
+}
+
+TEST(AppBehaviour, BasicSizesMatchTable2)
+{
+    EXPECT_EQ(apps::basicSize("fft"), 1u << 20);
+    EXPECT_EQ(apps::basicSize("ocean"), 1026u);
+    EXPECT_EQ(apps::basicSize("radix"), 1u << 22);
+    EXPECT_EQ(apps::basicSize("barnes"), 16384u);
+    EXPECT_EQ(apps::basicSize("water-nsq"), 4096u);
+    EXPECT_EQ(apps::basicSize("raytrace"), 128u);
+    EXPECT_EQ(apps::basicSize("volrend"), 256u);
+    EXPECT_EQ(apps::basicSize("infer"), 422u);
+    EXPECT_EQ(apps::basicSize("protein"), 16u);
+}
+
+TEST(AppBehaviour, EveryOriginalHasWorkingRestructuredVariant)
+{
+    for (const auto& name : apps::originalApps()) {
+        const std::string restr = apps::restructuredVariant(name);
+        if (restr.empty())
+            continue;
+        sim::MachineConfig cfg;
+        cfg.numProcs = 4;
+        auto app = apps::makeApp(restr, testSize(restr));
+        EXPECT_GT(core::runApp(cfg, *app).time, 0u) << restr;
+    }
+}

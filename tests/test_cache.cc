@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the set-associative L2 cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+
+using namespace ccnuma::sim;
+
+namespace {
+constexpr std::uint32_t kLine = 128;
+} // namespace
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(8 << 10, 2, kLine);
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000 + kLine - 1, false).hit) <<
+        "same line, different offset";
+    EXPECT_FALSE(c.access(0x1000 + kLine, false).hit) << "next line";
+}
+
+TEST(Cache, WriteAllocatesDirty)
+{
+    Cache c(8 << 10, 2, kLine);
+    EXPECT_FALSE(c.access(0x2000, true).hit);
+    EXPECT_EQ(c.probe(0x2000), LineState::Dirty);
+}
+
+TEST(Cache, ReadAllocatesShared)
+{
+    Cache c(8 << 10, 2, kLine);
+    c.access(0x2000, false);
+    EXPECT_EQ(c.probe(0x2000), LineState::Shared);
+}
+
+TEST(Cache, WriteHitOnSharedUpgrades)
+{
+    Cache c(8 << 10, 2, kLine);
+    c.access(0x2000, false);
+    const CacheResult r = c.access(0x2000, true);
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.upgrade);
+    EXPECT_EQ(c.probe(0x2000), LineState::Dirty);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 2-way: lines mapping to the same set evict the least recently used.
+    Cache c(8 << 10, 2, kLine);
+    const std::uint64_t set_stride = c.numSets() * kLine;
+    const Addr a = 0x0, b = a + set_stride, d = a + 2 * set_stride;
+    c.access(a, false);
+    c.access(b, false);
+    c.access(a, false); // refresh a; b is now LRU
+    const CacheResult r = c.access(d, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.victim, b);
+    EXPECT_EQ(r.victimState, LineState::Shared);
+    EXPECT_EQ(c.probe(a), LineState::Shared);
+    EXPECT_EQ(c.probe(b), LineState::Invalid);
+}
+
+TEST(Cache, DirtyVictimReported)
+{
+    Cache c(8 << 10, 2, kLine);
+    const std::uint64_t set_stride = c.numSets() * kLine;
+    c.access(0x0, true);
+    c.access(set_stride, false);
+    const CacheResult r = c.access(2 * set_stride, false);
+    EXPECT_EQ(r.victim, 0u);
+    EXPECT_EQ(r.victimState, LineState::Dirty);
+}
+
+TEST(Cache, InvalidateAndDowngrade)
+{
+    Cache c(8 << 10, 2, kLine);
+    c.access(0x4000, true);
+    c.downgrade(0x4000);
+    EXPECT_EQ(c.probe(0x4000), LineState::Shared);
+    EXPECT_EQ(c.invalidate(0x4000), LineState::Shared);
+    EXPECT_EQ(c.probe(0x4000), LineState::Invalid);
+    EXPECT_EQ(c.invalidate(0x4000), LineState::Invalid);
+}
+
+TEST(Cache, CapacityWorkingSetBehaviour)
+{
+    // A working set equal to capacity fits (fully-assoc would; 2-way LRU
+    // with sequential fill also does since each set sees its own lines in
+    // order); 2x capacity thrashes.
+    const std::uint64_t cap = 64 << 10;
+    Cache c(cap, 2, kLine);
+    const int lines = static_cast<int>(cap / kLine);
+    for (int i = 0; i < lines; ++i)
+        c.access(static_cast<Addr>(i) * kLine, false);
+    EXPECT_EQ(c.residentLines(), static_cast<std::uint64_t>(lines));
+    int hits = 0;
+    for (int i = 0; i < lines; ++i)
+        hits += c.access(static_cast<Addr>(i) * kLine, false).hit;
+    EXPECT_EQ(hits, lines) << "capacity-sized set should fully hit";
+
+    c.reset();
+    for (int rep = 0; rep < 2; ++rep)
+        for (int i = 0; i < 2 * lines; ++i)
+            c.access(static_cast<Addr>(i) * kLine, false);
+    hits = 0;
+    for (int i = 0; i < 2 * lines; ++i)
+        hits += c.access(static_cast<Addr>(i) * kLine, false).hit;
+    EXPECT_EQ(hits, 0) << "2x working set under LRU sequential scan "
+                          "should thrash completely";
+}
+
+TEST(Cache, InstallIdempotentAndStateMerge)
+{
+    Cache c(8 << 10, 2, kLine);
+    c.install(0x8000, LineState::Shared);
+    EXPECT_EQ(c.probe(0x8000), LineState::Shared);
+    const CacheResult r = c.install(0x8000, LineState::Dirty);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(c.probe(0x8000), LineState::Dirty);
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(Cache(100, 2, 128), std::invalid_argument);
+    EXPECT_THROW(Cache(8 << 10, 2, 100), std::invalid_argument);
+}
+
+TEST(Cache, ResidentCountTracksEvictions)
+{
+    Cache c(2 * kLine, 2, kLine); // one set, two ways
+    c.access(0, false);
+    c.access(kLine, false);
+    c.access(2 * kLine, false); // evicts
+    EXPECT_EQ(c.residentLines(), 2u);
+}

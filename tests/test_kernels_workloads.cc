@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the rendering, belief-network and protein workload kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "kernels/bayes.hh"
+#include "kernels/protein.hh"
+#include "kernels/render.hh"
+
+using namespace ccnuma::kernels;
+
+// ---------------- render ----------------
+
+TEST(Render, VolumeHasShellStructure)
+{
+    const Volume v(64);
+    EXPECT_EQ(v.voxels(), 64u * 64 * 64);
+    // Center region has tissue, far corner is empty.
+    EXPECT_GT(v.density(32, 32, 32), 0);
+    EXPECT_EQ(v.density(0, 0, 0), 0);
+}
+
+TEST(Render, CompositeProducesOpacityAndSkewedWork)
+{
+    const Volume v(64);
+    std::vector<std::uint32_t> work;
+    const auto img = shearWarpComposite(v, 0.2, 0.1, work);
+    ASSERT_EQ(img.size(), 64u * 64);
+    ASSERT_EQ(work.size(), 64u);
+    for (const float o : img) {
+        EXPECT_GE(o, 0.0f);
+        EXPECT_LE(o, 1.0f);
+    }
+    // Work profile is skewed: center scanlines composite far more
+    // voxels than edge scanlines (early termination + empty space).
+    const std::uint64_t center = work[32], edge = work[1];
+    EXPECT_GT(center, 2 * (edge + 1));
+}
+
+TEST(Render, WarpPreservesValueRange)
+{
+    const Volume v(32);
+    std::vector<std::uint32_t> work;
+    const auto inter = shearWarpComposite(v, 0.1, 0.1, work);
+    const auto fin = warpImage(inter, 32, 0.2);
+    ASSERT_EQ(fin.size(), inter.size());
+    for (const float o : fin) {
+        EXPECT_GE(o, 0.0f);
+        EXPECT_LE(o, 1.0f);
+    }
+}
+
+TEST(Render, TraceImageFindsSpheres)
+{
+    // A single large sphere in front of the camera must be hit by
+    // central rays and shade them.
+    std::vector<Sphere> scene = {{Vec3{0, 0, 0}, 0.5, 0.0}};
+    std::vector<float> image;
+    const auto work = traceImage(scene, 32, 1, &image);
+    ASSERT_EQ(work.size(), 32u * 32);
+    EXPECT_GT(image[16 * 32 + 16], 0.0f) << "center ray hits";
+    EXPECT_EQ(image[0], 0.0f) << "corner ray misses";
+    // Every pixel performed at least one intersection test.
+    for (const auto w : work)
+        EXPECT_GE(w, 1u);
+}
+
+TEST(Render, ReflectiveScenesCostMoreTests)
+{
+    auto scene = randomScene(32, 21);
+    for (auto& s : scene)
+        s.reflect = 0.0;
+    const auto flat = traceImage(scene, 32, 3, nullptr);
+    for (auto& s : scene)
+        s.reflect = 0.9;
+    const auto shiny = traceImage(scene, 32, 3, nullptr);
+    const auto sum = [](const std::vector<std::uint32_t>& v) {
+        return std::accumulate(v.begin(), v.end(), 0ull);
+    };
+    EXPECT_GT(sum(shiny), sum(flat));
+}
+
+// ---------------- bayes ----------------
+
+TEST(Bayes, TreeIsWellFormed)
+{
+    const CliqueTree t = randomTree(100, 12, 31);
+    EXPECT_EQ(t.cliques.size(), 100u);
+    EXPECT_EQ(t.cliques[0].parent, -1);
+    for (std::size_t c = 1; c < t.cliques.size(); ++c) {
+        const int par = t.cliques[c].parent;
+        ASSERT_GE(par, 0);
+        ASSERT_LT(par, static_cast<int>(c)) << "topological parents";
+        const auto& kids = t.cliques[par].children;
+        EXPECT_NE(std::find(kids.begin(), kids.end(),
+                            static_cast<int>(c)),
+                  kids.end());
+    }
+}
+
+TEST(Bayes, PropagationYieldsPositivePartition)
+{
+    CliqueTree t = randomTree(50, 10, 32);
+    const double z = propagate(t);
+    EXPECT_GT(z, 0.0);
+    EXPECT_TRUE(std::isfinite(z));
+}
+
+TEST(Bayes, PropagationCostMatchesTableSizes)
+{
+    const CliqueTree t = randomTree(30, 8, 33);
+    std::uint64_t expect = 0;
+    for (const auto& c : t.cliques)
+        expect += 2 * c.table.size() * c.vars;
+    EXPECT_EQ(propagationCost(t), expect);
+}
+
+TEST(Bayes, SkewedCliqueSizes)
+{
+    const CliqueTree t = randomTree(400, 14, 34);
+    std::size_t small = 0, large = 0;
+    for (const auto& c : t.cliques) {
+        if (c.vars <= 4)
+            ++small;
+        if (c.vars >= 10)
+            ++large;
+    }
+    EXPECT_GT(small, 200u) << "mostly small cliques";
+    EXPECT_GT(large, 5u) << "a few large cliques";
+    EXPECT_LT(large, 100u);
+}
+
+// ---------------- protein ----------------
+
+TEST(Protein, HelixTreeShape)
+{
+    const ProteinTree t = helixTree(16, 1000, 41);
+    // 16 leaves -> 31 nodes in a binary merge hierarchy.
+    EXPECT_EQ(t.nodes.size(), 31u);
+    int leaves = 0;
+    for (const auto& nd : t.nodes)
+        if (nd.children.empty())
+            ++leaves;
+    EXPECT_EQ(leaves, 16);
+    EXPECT_GT(t.totalWork(), 0u);
+}
+
+TEST(Protein, StaticGroupsCoverAllProcs)
+{
+    const ProteinTree t = helixTree(16, 1000, 42);
+    const auto groups = staticGroups(t, 32);
+    EXPECT_EQ(groups.size(), t.nodes[0].children.size());
+    int total = 0;
+    for (const int g : groups) {
+        EXPECT_GE(g, 1);
+        total += g;
+    }
+    EXPECT_EQ(total, 32);
+}
+
+TEST(Protein, MakespanShrinksWithProcessors)
+{
+    const ProteinTree t = helixTree(32, 5000, 43);
+    EXPECT_GT(criticalPathMakespan(t, 4),
+              criticalPathMakespan(t, 64));
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the page table: placement policies, manual placement,
+ * and the dampened heavy-hitter migration policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/pagetable.hh"
+
+using namespace ccnuma::sim;
+
+namespace {
+
+MachineConfig
+cfgWith(Placement pl, bool mig = false, std::uint32_t thresh = 8)
+{
+    MachineConfig cfg;
+    cfg.placement = pl;
+    cfg.pageMigration = mig;
+    cfg.migrationThreshold = thresh;
+    return cfg;
+}
+
+constexpr std::uint64_t kPage = 16384;
+
+} // namespace
+
+TEST(PageTable, FirstTouchHomesAtToucher)
+{
+    PageTable pt(cfgWith(Placement::FirstTouch), 8);
+    EXPECT_EQ(pt.home(0, 3), 3);
+    EXPECT_EQ(pt.home(100, 5), 3) << "same page keeps its first home";
+    EXPECT_EQ(pt.home(kPage, 5), 5) << "next page";
+}
+
+TEST(PageTable, RoundRobinCyclesNodes)
+{
+    PageTable pt(cfgWith(Placement::RoundRobin), 4);
+    EXPECT_EQ(pt.home(0 * kPage, 2), 0);
+    EXPECT_EQ(pt.home(1 * kPage, 2), 1);
+    EXPECT_EQ(pt.home(2 * kPage, 2), 2);
+    EXPECT_EQ(pt.home(3 * kPage, 2), 3);
+    EXPECT_EQ(pt.home(4 * kPage, 2), 0);
+}
+
+TEST(PageTable, ExplicitPlacementWinsAndFallsBackToFirstTouch)
+{
+    PageTable pt(cfgWith(Placement::Explicit), 8);
+    pt.place(0, 2 * kPage, 6);
+    EXPECT_EQ(pt.home(0, 1), 6);
+    EXPECT_EQ(pt.home(kPage + 5, 1), 6);
+    EXPECT_EQ(pt.home(2 * kPage, 1), 1) << "unplaced page: first touch";
+}
+
+TEST(PageTable, PlaceBlockedDistributesInOrder)
+{
+    PageTable pt(cfgWith(Placement::Explicit), 8);
+    pt.placeBlocked(0, 4 * kPage, {7, 5, 3, 1});
+    EXPECT_EQ(pt.home(0 * kPage, 0), 7);
+    EXPECT_EQ(pt.home(1 * kPage, 0), 5);
+    EXPECT_EQ(pt.home(2 * kPage, 0), 3);
+    EXPECT_EQ(pt.home(3 * kPage, 0), 1);
+}
+
+TEST(PageTable, HintsIgnoredUnderRoundRobin)
+{
+    PageTable pt(cfgWith(Placement::RoundRobin), 4);
+    pt.place(0, kPage, 3); // should be a no-op
+    EXPECT_EQ(pt.home(0, 1), 0) << "round-robin starts at node 0";
+}
+
+TEST(PageTable, MigrationAfterThresholdRemoteAccesses)
+{
+    PageTable pt(cfgWith(Placement::FirstTouch, true, 8), 8);
+    ASSERT_EQ(pt.home(0, 0), 0);
+    bool migrated = false;
+    for (int i = 0; i < 20 && !migrated; ++i)
+        migrated = pt.noteAccess(0, 2);
+    EXPECT_TRUE(migrated);
+    EXPECT_EQ(pt.home(0, 5), 2) << "page now homed at the hot accessor";
+    EXPECT_EQ(pt.totalMigrations(), 1u);
+}
+
+TEST(PageTable, MigrationDampenedToOnePerPage)
+{
+    PageTable pt(cfgWith(Placement::FirstTouch, true, 4), 8);
+    pt.home(0, 0);
+    while (!pt.noteAccess(0, 2)) {
+    }
+    // Hammer from another node: must not migrate again.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(pt.noteAccess(0, 3));
+    EXPECT_EQ(pt.totalMigrations(), 1u);
+}
+
+TEST(PageTable, HomeAccessesDecayChallenger)
+{
+    PageTable pt(cfgWith(Placement::FirstTouch, true, 4), 8);
+    pt.home(0, 0);
+    // Alternate remote and home accesses: score never reaches the
+    // threshold.
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(pt.noteAccess(0, 2));
+        EXPECT_FALSE(pt.noteAccess(0, 0));
+        EXPECT_FALSE(pt.noteAccess(0, 0));
+    }
+    EXPECT_EQ(pt.totalMigrations(), 0u);
+}
+
+TEST(PageTable, CompetingChallengersDisplaceEachOther)
+{
+    PageTable pt(cfgWith(Placement::FirstTouch, true, 16), 8);
+    pt.home(0, 0);
+    // Two remote nodes alternating: heavy-hitter counter oscillates,
+    // no migration (neither is actually dominant).
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_FALSE(pt.noteAccess(0, 2));
+        EXPECT_FALSE(pt.noteAccess(0, 3));
+    }
+    EXPECT_EQ(pt.totalMigrations(), 0u);
+}
+
+TEST(PageTable, NoMigrationWhenDisabled)
+{
+    PageTable pt(cfgWith(Placement::FirstTouch, false, 2), 8);
+    pt.home(0, 0);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_FALSE(pt.noteAccess(0, 2));
+}
+
+TEST(PageTable, PagesPerNodeCountsPlacedPages)
+{
+    PageTable pt(cfgWith(Placement::Explicit), 4);
+    pt.place(0, 3 * kPage, 1);
+    pt.place(3 * kPage, kPage, 2);
+    pt.home(10 * kPage, 3); // first touch
+    const auto counts = pt.pagesPerNode();
+    EXPECT_EQ(counts[1], 3u);
+    EXPECT_EQ(counts[2], 1u);
+    EXPECT_EQ(counts[3], 1u);
+    EXPECT_EQ(counts[0], 0u);
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the study framework (core library): measurement semantics,
+ * sequential-time caching, breakdown math, report formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "core/report.hh"
+#include "core/study.hh"
+
+using namespace ccnuma;
+
+TEST(Study, MeasureUsesSeqCache)
+{
+    std::map<std::string, sim::Cycles> cache;
+    sim::MachineConfig cfg;
+    cfg.numProcs = 4;
+    int calls = 0;
+    const auto factory = [&] {
+        ++calls;
+        return apps::makeApp("fft", 1 << 12);
+    };
+    const auto m1 = core::measure(cfg, factory, &cache, "k");
+    EXPECT_EQ(calls, 2) << "seq + par";
+    const auto m2 = core::measure(cfg, factory, &cache, "k");
+    EXPECT_EQ(calls, 3) << "cached seq: only the parallel app built";
+    EXPECT_EQ(m1.seqTime, m2.seqTime);
+    EXPECT_EQ(m1.parTime, m2.parTime);
+}
+
+TEST(Study, EfficiencyMath)
+{
+    core::Measurement m;
+    m.seqTime = 1000;
+    m.parTime = 100;
+    m.nprocs = 5;
+    EXPECT_DOUBLE_EQ(m.speedup(), 10.0);
+    EXPECT_DOUBLE_EQ(m.efficiency(), 2.0);
+}
+
+TEST(Study, BreakdownFractionsSumToOne)
+{
+    sim::MachineConfig cfg;
+    cfg.numProcs = 8;
+    auto app = apps::makeApp("ocean", 66);
+    const sim::RunResult r = core::runApp(cfg, *app);
+    for (int p = 0; p < 8; ++p) {
+        const auto b = r.breakdown(p);
+        EXPECT_NEAR(b.busy + b.mem + b.sync, 1.0, 1e-9) << p;
+        EXPECT_GE(b.busy, 0.0);
+        EXPECT_GE(b.mem, 0.0);
+        EXPECT_GE(b.sync, 0.0);
+    }
+    const auto avg = r.breakdown();
+    EXPECT_NEAR(avg.busy + avg.mem + avg.sync, 1.0, 1e-9);
+}
+
+TEST(Study, AggregateCountersSumProcs)
+{
+    sim::MachineConfig cfg;
+    cfg.numProcs = 4;
+    auto app = apps::makeApp("radix", 1 << 14);
+    const sim::RunResult r = core::runApp(cfg, *app);
+    const auto tot = r.totals();
+    std::uint64_t loads = 0;
+    for (const auto& ps : r.procs)
+        loads += ps.c.loads;
+    EXPECT_EQ(tot.loads, loads);
+    EXPECT_GT(tot.misses(), 0u);
+}
+
+TEST(Study, FormatHelpers)
+{
+    EXPECT_EQ(core::fmt(1.2345, 7, 2), "   1.23");
+    EXPECT_EQ(core::fmt(-1.5, 6, 1), "  -1.5");
+}
+
+TEST(Study, SpeedupHelpersInStats)
+{
+    EXPECT_DOUBLE_EQ(sim::speedup(100, 10), 10.0);
+    EXPECT_DOUBLE_EQ(sim::efficiency(100, 10, 5), 2.0);
+    EXPECT_DOUBLE_EQ(sim::speedup(100, 0), 0.0);
+}

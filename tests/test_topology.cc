@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the hypercube + metarouter topology and mapping
+ * policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/topology.hh"
+
+using namespace ccnuma::sim;
+
+namespace {
+
+MachineConfig
+cfgFor(int procs)
+{
+    MachineConfig cfg;
+    cfg.numProcs = procs;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Topology, NodeAndRouterGeometry32)
+{
+    Topology t(cfgFor(32));
+    EXPECT_EQ(t.numNodes(), 16);
+    EXPECT_EQ(t.numRouters(), 8);
+    EXPECT_EQ(t.numMetaRouters(), 0);
+    EXPECT_EQ(t.nodeOfProc(0), 0);
+    EXPECT_EQ(t.nodeOfProc(1), 0);
+    EXPECT_EQ(t.nodeOfProc(2), 1);
+    EXPECT_EQ(t.routerOfNode(0), 0);
+    EXPECT_EQ(t.routerOfNode(1), 0);
+    EXPECT_EQ(t.routerOfNode(2), 1);
+}
+
+TEST(Topology, Machine128HasMetaRouters)
+{
+    Topology t(cfgFor(128));
+    EXPECT_EQ(t.numNodes(), 64);
+    EXPECT_EQ(t.numMetaRouters(), 8);
+    // Nodes 0 and 16 are in different 32p modules.
+    EXPECT_EQ(t.moduleOfNode(0), 0);
+    EXPECT_EQ(t.moduleOfNode(16), 1);
+    const Route r = t.route(0, 16);
+    EXPECT_EQ(r.metaCrossings, 1);
+    EXPECT_GE(r.metaRouter, 0);
+    EXPECT_LT(r.metaRouter, 8);
+}
+
+TEST(Topology, RouteProperties)
+{
+    Topology t(cfgFor(64));
+    // Same node: zero hops.
+    EXPECT_EQ(t.route(3, 3).hops, 0);
+    // Same router (nodes 2k, 2k+1): one hop.
+    EXPECT_EQ(t.route(0, 1).hops, 1);
+    // Symmetry of distance.
+    for (NodeId a = 0; a < t.numNodes(); ++a)
+        for (NodeId b = 0; b < t.numNodes(); ++b)
+            EXPECT_EQ(t.distance(a, b), t.distance(b, a));
+}
+
+TEST(Topology, HypercubeDiameter)
+{
+    // 64 procs -> 32 nodes -> 16 routers -> 4-cube: max distance
+    // 1 (enter fabric) + 4 (hamming) = 5.
+    Topology t(cfgFor(64));
+    int maxd = 0;
+    for (NodeId a = 0; a < t.numNodes(); ++a)
+        for (NodeId b = 0; b < t.numNodes(); ++b)
+            maxd = std::max(maxd, t.route(a, b).hops);
+    EXPECT_EQ(maxd, 5);
+}
+
+TEST(Topology, CrossModuleAlwaysCrossesMeta)
+{
+    Topology t(cfgFor(128));
+    for (NodeId a = 0; a < 16; ++a)
+        for (NodeId b = 16; b < 32; ++b) {
+            EXPECT_EQ(t.route(a, b).metaCrossings, 1);
+            EXPECT_EQ(t.route(a, b + 16).metaCrossings, 1);
+        }
+    // Within a module, never.
+    for (NodeId a = 0; a < 16; ++a)
+        for (NodeId b = 0; b < 16; ++b)
+            EXPECT_EQ(t.route(a, b).metaCrossings, 0);
+}
+
+TEST(Topology, LinearMappingIsIdentity)
+{
+    Topology t(cfgFor(32));
+    for (ProcId p = 0; p < 32; ++p)
+        EXPECT_EQ(t.physicalProc(p), p);
+}
+
+TEST(Topology, RandomMappingIsPermutationAndDeterministic)
+{
+    MachineConfig cfg = cfgFor(64);
+    cfg.mapping = Mapping::Random;
+    Topology t1(cfg), t2(cfg);
+    std::set<ProcId> seen;
+    for (ProcId p = 0; p < 64; ++p) {
+        seen.insert(t1.physicalProc(p));
+        EXPECT_EQ(t1.physicalProc(p), t2.physicalProc(p));
+    }
+    EXPECT_EQ(seen.size(), 64u);
+    // A different seed gives a different permutation.
+    cfg.mappingSeed = 999;
+    Topology t3(cfg);
+    bool differs = false;
+    for (ProcId p = 0; p < 64; ++p)
+        differs |= t3.physicalProc(p) != t1.physicalProc(p);
+    EXPECT_TRUE(differs);
+}
+
+TEST(Topology, PairedRandomKeepsPairsCoLocated)
+{
+    MachineConfig cfg = cfgFor(64);
+    cfg.mapping = Mapping::PairedRandom;
+    Topology t(cfg);
+    std::set<ProcId> seen;
+    for (ProcId p = 0; p < 64; p += 2) {
+        EXPECT_EQ(t.nodeOfProcess(p), t.nodeOfProcess(p + 1))
+            << "pair " << p;
+        seen.insert(t.physicalProc(p));
+        seen.insert(t.physicalProc(p + 1));
+    }
+    EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Topology, ExplicitMappingOverride)
+{
+    Topology t(cfgFor(4));
+    t.setMapping({3, 2, 1, 0});
+    EXPECT_EQ(t.physicalProc(0), 3);
+    EXPECT_EQ(t.physicalProc(3), 0);
+    EXPECT_THROW(t.setMapping({0, 1}), std::invalid_argument);
+}
+
+TEST(Topology, OneProcPerNodeUsesMoreNodes)
+{
+    MachineConfig cfg = cfgFor(32);
+    cfg.oneProcPerNode = true;
+    Topology t(cfg);
+    EXPECT_EQ(t.numNodes(), 32);
+    EXPECT_EQ(t.nodeOfProc(5), 5);
+}
