@@ -4,16 +4,31 @@
  * breakdown of 128-processor runs at the basic problem sizes. Paper
  * shape: memory stall dominates most applications; synchronization
  * (wait time) dominates Water-Spatial.
+ *
+ * With --json=FILE (or CCNUMA_JSON=FILE) the breakdown series and
+ * counter totals are also dumped as JSON, so the perf trajectory can
+ * be tracked across PRs (e.g. --json=BENCH_fig3.json).
  */
 
+#include <cstring>
+
 #include "bench/common.hh"
+#include "core/metrics.hh"
 
 using namespace ccnuma;
 using bench::measureApp;
 
 int
-main()
+main(int argc, char** argv)
 {
+    std::string json_file;
+    if (const char* env = std::getenv("CCNUMA_JSON"))
+        json_file = env;
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json_file = argv[i] + 7;
+    core::MetricsSink sink(json_file);
+
     core::printHeader(
         "Figure 3: average 128-proc breakdown, basic problem sizes");
     for (const auto& name : apps::originalApps()) {
@@ -22,7 +37,15 @@ main()
         auto app = apps::makeApp(name, 0);
         const sim::RunResult r = core::runApp(cfg, *app);
         core::printBreakdown(name, r.breakdown());
+        sink.add(name, r);
         std::fflush(stdout);
+    }
+    if (sink.enabled()) {
+        if (sink.write())
+            std::printf("wrote %s\n", json_file.c_str());
+        else
+            std::fprintf(stderr, "failed to write %s\n",
+                         json_file.c_str());
     }
     return 0;
 }

@@ -6,23 +6,53 @@
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/quickstart
+ *
+ * Observability: pass --trace=fft.trace.json (or set CCNUMA_TRACE) to
+ * also write a Chrome-trace JSON (open in chrome://tracing / Perfetto)
+ * plus fft.trace.json.metrics.json with epoch time-series, latency
+ * histograms and the hot-line sharing report.
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "apps/registry.hh"
 #include "core/report.hh"
 #include "core/study.hh"
+#include "obs/export.hh"
 
 using namespace ccnuma;
 
+namespace {
+
+/// --trace=FILE beats the CCNUMA_TRACE environment variable.
+std::string
+traceFileArg(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--trace=", 8) == 0)
+            return argv[i] + 8;
+    const char* env = std::getenv("CCNUMA_TRACE");
+    return env ? env : "";
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char** argv)
 {
     // 1. Configure a machine: 64 processors, 2 per node, calibrated to
     //    the SGI Origin2000's latencies (Table 1 of the paper).
     sim::MachineConfig cfg;
     cfg.numProcs = 64;
+    const std::string trace_file = traceFileArg(argc, argv);
+    if (!trace_file.empty()) {
+        cfg.trace.events = true;
+        cfg.trace.intervals = true;
+        cfg.trace.sharing = true;
+    }
 
     // 2. Pick an application at its basic problem size (2^20 points).
     //    makeApp knows every app and variant in the study.
@@ -46,6 +76,26 @@ main()
     // 4. Where does the time go?
     core::printBreakdown("execution time breakdown", m.par.breakdown());
     core::printCounters("event counters (all procs)", m.par.totals());
+
+    // 4b. With tracing on: export the run and summarize it.
+    if (!trace_file.empty() && m.par.trace) {
+        const obs::Trace& t = *m.par.trace;
+        core::printLatencyHistograms(t);
+        core::printHeader("hottest coherence lines");
+        core::printHotLines(t, 10);
+        if (obs::writeChromeTraceFile(trace_file, t))
+            std::printf("\nwrote %s (open in chrome://tracing or "
+                        "https://ui.perfetto.dev)\n",
+                        trace_file.c_str());
+        const std::string metrics = trace_file + ".metrics.json";
+        if (obs::writeMetricsJsonFile(metrics, t, &m.par))
+            std::printf("wrote %s (epoch time-series + histograms + "
+                        "hot lines)\n",
+                        metrics.c_str());
+    } else if (!trace_file.empty()) {
+        std::printf("\n(tracing requested but compiled out; rebuild "
+                    "with -DCCNUMA_TRACING=ON)\n");
+    }
 
     // 5. Same again with software prefetch in the transpose phases.
     const core::Measurement pf = core::measure(

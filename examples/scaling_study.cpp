@@ -3,27 +3,45 @@
  * Scenario: "will my application scale to 128 processors?" -- the
  * paper's core question, for any application in the registry.
  *
- * Usage: scaling_study [app] [size]
+ * Usage: scaling_study [app] [size] [--trace=FILE]
  *   e.g. scaling_study barnes 16384
  *        scaling_study water-spatial 32768
+ *
+ * With --trace=FILE (or CCNUMA_TRACE=FILE) the largest run is traced:
+ * FILE gets a Chrome-trace JSON (chrome://tracing / Perfetto) and
+ * FILE.metrics.json the epoch time-series, latency histograms and
+ * hot-line sharing report.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "apps/registry.hh"
 #include "core/report.hh"
 #include "core/study.hh"
+#include "obs/export.hh"
 
 using namespace ccnuma;
 
 int
 main(int argc, char** argv)
 try {
-    const std::string app = argc > 1 ? argv[1] : "water-spatial";
+    std::string trace_file;
+    if (const char* env = std::getenv("CCNUMA_TRACE"))
+        trace_file = env;
+    std::vector<std::string> pos;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--trace=", 8) == 0)
+            trace_file = argv[i] + 8;
+        else
+            pos.emplace_back(argv[i]);
+    }
+    const std::string app = !pos.empty() ? pos[0] : "water-spatial";
     const std::uint64_t size =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0;
+        pos.size() > 1 ? std::strtoull(pos[1].c_str(), nullptr, 10) : 0;
 
     core::printHeader("scaling study: " + app);
     std::printf("problem size: %llu %s\n\n",
@@ -34,9 +52,17 @@ try {
     std::map<std::string, sim::Cycles> seq_cache;
     std::printf("%6s %10s %8s %8s   breakdown\n", "procs", "speedup",
                 "effcy", "scales?");
-    for (const int P : {2, 8, 32, 64, 128}) {
+    const std::vector<int> sizes = {2, 8, 32, 64, 128};
+    for (const int P : sizes) {
         sim::MachineConfig cfg;
         cfg.numProcs = P;
+        if (!trace_file.empty() && P == sizes.back()) {
+            // Trace the largest machine: that run is the one whose
+            // scaling loss needs explaining.
+            cfg.trace.events = true;
+            cfg.trace.intervals = true;
+            cfg.trace.sharing = true;
+        }
         const core::Measurement m = core::measure(
             cfg, [&] { return apps::makeApp(app, size); }, &seq_cache,
             app);
@@ -48,6 +74,19 @@ try {
                                                             : "no",
                     b.busy * 100, b.mem * 100, b.sync * 100);
         std::fflush(stdout);
+        if (!trace_file.empty() && P == sizes.back() && m.par.trace) {
+            const obs::Trace& t = *m.par.trace;
+            core::printHeader("observability: " + app + " at " +
+                              std::to_string(P) + " procs");
+            core::printLatencyHistograms(t);
+            core::printHotLines(t, 10);
+            if (obs::writeChromeTraceFile(trace_file, t))
+                std::printf("wrote %s (chrome://tracing / Perfetto)\n",
+                            trace_file.c_str());
+            const std::string metrics = trace_file + ".metrics.json";
+            if (obs::writeMetricsJsonFile(metrics, t, &m.par))
+                std::printf("wrote %s\n", metrics.c_str());
+        }
     }
 
     const std::string restr = apps::restructuredVariant(app);

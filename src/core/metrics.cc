@@ -1,0 +1,91 @@
+#include "core/metrics.hh"
+
+#include <fstream>
+
+#include "obs/json.hh"
+
+namespace ccnuma::core {
+
+MetricsSink::Entry&
+MetricsSink::entry(const std::string& label)
+{
+    for (Entry& e : entries_)
+        if (e.label == label)
+            return e;
+    entries_.push_back(Entry{});
+    entries_.back().label = label;
+    return entries_.back();
+}
+
+void
+MetricsSink::add(const std::string& label, const sim::RunResult& r)
+{
+    if (!enabled())
+        return;
+    Entry& e = entry(label);
+    e.hasRun = true;
+    e.time = r.time;
+    e.breakdown = r.breakdown();
+    e.totals = r.totals();
+}
+
+void
+MetricsSink::addScalar(const std::string& label, const std::string& key,
+                       double v)
+{
+    if (!enabled())
+        return;
+    entry(label).scalars.emplace_back(key, v);
+}
+
+bool
+MetricsSink::write() const
+{
+    if (!enabled())
+        return true;
+    std::ofstream f(path_);
+    if (!f)
+        return false;
+    obs::JsonWriter w(f, 2);
+    w.beginObject();
+    w.field("generator", "ccnuma-scale metrics sink");
+    w.beginArray("runs");
+    for (const Entry& e : entries_) {
+        w.beginObject();
+        w.field("label", e.label);
+        for (const auto& [k, v] : e.scalars)
+            w.field(k, v);
+        if (e.hasRun) {
+            w.field("runCycles", static_cast<std::uint64_t>(e.time));
+            w.beginObject("breakdown");
+            w.field("busy", e.breakdown.busy);
+            w.field("mem", e.breakdown.mem);
+            w.field("sync", e.breakdown.sync);
+            w.endObject();
+            w.beginObject("totals");
+            const sim::ProcCounters& c = e.totals;
+            w.field("loads", c.loads);
+            w.field("stores", c.stores);
+            w.field("l2Hits", c.l2Hits);
+            w.field("missLocal", c.missLocal);
+            w.field("missRemoteClean", c.missRemoteClean);
+            w.field("missRemoteDirty", c.missRemoteDirty);
+            w.field("upgrades", c.upgrades);
+            w.field("invalsSent", c.invalsSent);
+            w.field("writebacks", c.writebacks);
+            w.field("prefetchesIssued", c.prefetchesIssued);
+            w.field("prefetchesUseful", c.prefetchesUseful);
+            w.field("pageMigrations", c.pageMigrations);
+            w.field("lockAcquires", c.lockAcquires);
+            w.field("barriersPassed", c.barriersPassed);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    f << '\n';
+    return static_cast<bool>(f);
+}
+
+} // namespace ccnuma::core

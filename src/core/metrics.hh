@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Machine-readable metrics sink for the bench binaries: collects named
+ * run results (breakdowns, totals, scalar series) and writes one JSON
+ * document, so a bench's perf trajectory can be tracked across PRs
+ * (e.g. `fig3_breakdown --json=BENCH_fig3.json`).
+ */
+
+#ifndef CCNUMA_CORE_METRICS_HH
+#define CCNUMA_CORE_METRICS_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace ccnuma::core {
+
+/**
+ * Accumulates labelled measurements; write() emits them as JSON. A sink
+ * constructed with an empty path is disabled: add()/write() are no-ops,
+ * so call sites need no conditionals.
+ */
+class MetricsSink
+{
+  public:
+    explicit MetricsSink(std::string path) : path_(std::move(path)) {}
+
+    bool enabled() const { return !path_.empty(); }
+
+    /// Record one run under `label` (breakdown, totals, run time).
+    void add(const std::string& label, const sim::RunResult& r);
+    /// Attach a scalar (e.g. speedup) to the entry named `label`,
+    /// creating a scalar-only entry if none exists.
+    void addScalar(const std::string& label, const std::string& key,
+                   double v);
+
+    /// Write the JSON document; returns false on I/O error (or true
+    /// without writing when disabled).
+    bool write() const;
+
+  private:
+    struct Entry {
+        std::string label;
+        bool hasRun = false;
+        sim::Cycles time = 0;
+        sim::Breakdown breakdown;
+        sim::ProcCounters totals;
+        std::vector<std::pair<std::string, double>> scalars;
+    };
+    Entry& entry(const std::string& label);
+
+    std::string path_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace ccnuma::core
+
+#endif // CCNUMA_CORE_METRICS_HH

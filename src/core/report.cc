@@ -89,7 +89,8 @@ printCounters(const std::string& label, const sim::ProcCounters& c)
 {
     std::printf(
         "%-28s loads %llu stores %llu hits %llu missL %llu missRC %llu "
-        "missRD %llu upg %llu inv %llu wb %llu pf %llu/%llu mig %llu\n",
+        "missRD %llu upg %llu inv %llu wb %llu pf %llu/%llu mig %llu "
+        "lk %llu bar %llu\n",
         label.c_str(),
         static_cast<unsigned long long>(c.loads),
         static_cast<unsigned long long>(c.stores),
@@ -102,7 +103,69 @@ printCounters(const std::string& label, const sim::ProcCounters& c)
         static_cast<unsigned long long>(c.writebacks),
         static_cast<unsigned long long>(c.prefetchesUseful),
         static_cast<unsigned long long>(c.prefetchesIssued),
-        static_cast<unsigned long long>(c.pageMigrations));
+        static_cast<unsigned long long>(c.pageMigrations),
+        static_cast<unsigned long long>(c.lockAcquires),
+        static_cast<unsigned long long>(c.barriersPassed));
+}
+
+void
+printLatencyHistogram(const std::string& label,
+                      const obs::LatencyHisto& h)
+{
+    if (h.count() == 0)
+        return;
+    std::printf("%-28s n %10llu  mean %8.1f  p50 %6llu  p95 %6llu  "
+                "p99 %6llu  max %6llu cycles\n",
+                label.c_str(),
+                static_cast<unsigned long long>(h.count()), h.mean(),
+                static_cast<unsigned long long>(h.quantile(0.50)),
+                static_cast<unsigned long long>(h.quantile(0.95)),
+                static_cast<unsigned long long>(h.quantile(0.99)),
+                static_cast<unsigned long long>(h.max()));
+}
+
+void
+printLatencyHistograms(const obs::Trace& t)
+{
+    printLatencyHistogram("  miss latency: local", t.histLocal());
+    printLatencyHistogram("  miss latency: remote clean",
+                          t.histRemoteClean());
+    printLatencyHistogram("  miss latency: remote dirty",
+                          t.histRemoteDirty());
+    printLatencyHistogram("  upgrade latency", t.histUpgrade());
+}
+
+void
+printHotLines(const obs::Trace& t, int top_n)
+{
+    if (!t.config().sharing) {
+        std::printf("(sharing profiler was not enabled)\n");
+        return;
+    }
+    const auto lines = t.sharing().hotLines(
+        static_cast<std::size_t>(top_n));
+    if (lines.empty()) {
+        std::printf("no coherence traffic attributed to any line\n");
+        return;
+    }
+    std::printf("%-14s %-13s %8s %8s %8s %6s %6s %6s\n", "line",
+                "class", "invals", "dirtyMs", "upgrades", "procs",
+                "words", "shrd");
+    for (const auto& l : lines)
+        std::printf("0x%-12llx %-13s %8llu %8llu %8llu %6d %6d %6d\n",
+                    static_cast<unsigned long long>(l.line),
+                    obs::SharingProfiler::className(l.cls),
+                    static_cast<unsigned long long>(l.invalidations),
+                    static_cast<unsigned long long>(l.dirtyMisses),
+                    static_cast<unsigned long long>(l.upgrades),
+                    l.procsTouched, l.wordsTouched, l.wordsShared);
+    const auto pages = t.sharing().hotPages(
+        static_cast<std::size_t>(top_n > 5 ? 5 : top_n));
+    for (const auto& p : pages)
+        std::printf("  page %-8llu traffic %8llu over %d lines\n",
+                    static_cast<unsigned long long>(p.page),
+                    static_cast<unsigned long long>(p.traffic()),
+                    p.linesTracked);
 }
 
 } // namespace ccnuma::core

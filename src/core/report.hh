@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "sim/stats.hh"
 
 namespace ccnuma::core {
@@ -38,8 +39,21 @@ void printBreakdown(const std::string& label, const sim::Breakdown& b);
 void printPerProcBreakdown(const std::string& label,
                            const sim::RunResult& r, int buckets = 16);
 
-/// Counter summary line (misses by type, invals, writebacks...).
+/// Counter summary line (misses by type, invals, writebacks, prefetch
+/// issued/useful, locks, barriers...).
 void printCounters(const std::string& label, const sim::ProcCounters& c);
+
+/// One-line summary of a miss-latency histogram (count/mean/p50/p95/
+/// p99/max in cycles); prints nothing for an empty histogram.
+void printLatencyHistogram(const std::string& label,
+                           const obs::LatencyHisto& h);
+
+/// Summaries for every per-class histogram collected in `t`.
+void printLatencyHistograms(const obs::Trace& t);
+
+/// Top-N hottest coherence lines with their true/false-sharing
+/// classification, and the hottest pages (requires trace.sharing).
+void printHotLines(const obs::Trace& t, int top_n = 10);
 
 /// Format helper: fixed-width double.
 std::string fmt(double v, int width = 7, int prec = 2);

@@ -26,6 +26,9 @@ measure(const sim::MachineConfig& cfg, const AppFactory& factory,
         sim::MachineConfig seq_cfg = cfg;
         seq_cfg.numProcs = 1;
         seq_cfg.oneProcPerNode = false;
+        // The baseline is only timed; don't trace it (tracing never
+        // changes timing, this just avoids pointless capture cost).
+        seq_cfg.trace = {};
         apps::AppPtr seq_app = factory();
         out.seqTime = runApp(seq_cfg, *seq_app).time;
         if (seq_cache && !seq_key.empty())

@@ -1,0 +1,272 @@
+#include "obs/export.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.hh"
+
+namespace ccnuma::obs {
+
+namespace {
+
+std::string
+hexAddr(Addr a)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(a));
+    return buf;
+}
+
+// Local counter summation: obs must not reference symbols defined in
+// ccnuma_sim .cc files (RunResult::totals lives there), see trace.hh.
+sim::ProcCounters
+sumCounters(const sim::RunResult& r)
+{
+    sim::ProcCounters sum;
+    for (const sim::ProcStats& ps : r.procs) {
+        const sim::ProcCounters& c = ps.c;
+        sum.loads += c.loads;
+        sum.stores += c.stores;
+        sum.l2Hits += c.l2Hits;
+        sum.missLocal += c.missLocal;
+        sum.missRemoteClean += c.missRemoteClean;
+        sum.missRemoteDirty += c.missRemoteDirty;
+        sum.upgrades += c.upgrades;
+        sum.invalsSent += c.invalsSent;
+        sum.invalsReceived += c.invalsReceived;
+        sum.writebacks += c.writebacks;
+        sum.prefetchesIssued += c.prefetchesIssued;
+        sum.prefetchesUseful += c.prefetchesUseful;
+        sum.pageMigrations += c.pageMigrations;
+        sum.lockAcquires += c.lockAcquires;
+        sum.barriersPassed += c.barriersPassed;
+    }
+    return sum;
+}
+
+void
+writeCounters(JsonWriter& w, const std::string& key,
+              const sim::ProcCounters& c)
+{
+    w.beginObject(key);
+    w.field("loads", c.loads);
+    w.field("stores", c.stores);
+    w.field("l2Hits", c.l2Hits);
+    w.field("missLocal", c.missLocal);
+    w.field("missRemoteClean", c.missRemoteClean);
+    w.field("missRemoteDirty", c.missRemoteDirty);
+    w.field("upgrades", c.upgrades);
+    w.field("invalsSent", c.invalsSent);
+    w.field("invalsReceived", c.invalsReceived);
+    w.field("writebacks", c.writebacks);
+    w.field("prefetchesIssued", c.prefetchesIssued);
+    w.field("prefetchesUseful", c.prefetchesUseful);
+    w.field("pageMigrations", c.pageMigrations);
+    w.field("lockAcquires", c.lockAcquires);
+    w.field("barriersPassed", c.barriersPassed);
+    w.endObject();
+}
+
+void
+writeTimes(JsonWriter& w, const std::string& key, const sim::ProcTimes& t)
+{
+    w.beginObject(key);
+    w.field("busy", t.busy);
+    w.field("memStall", t.memStall);
+    w.field("syncWait", t.syncWait);
+    w.field("syncOp", t.syncOp);
+    w.endObject();
+}
+
+void
+writeHisto(JsonWriter& w, const std::string& key, const LatencyHisto& h)
+{
+    w.beginObject(key);
+    w.field("count", h.count());
+    w.field("minCycles", h.min());
+    w.field("maxCycles", h.max());
+    w.field("meanCycles", h.mean());
+    w.field("p50", h.quantile(0.50));
+    w.field("p95", h.quantile(0.95));
+    w.field("p99", h.quantile(0.99));
+    w.beginArray("buckets");
+    h.forEachBucket([&](Cycles lo, Cycles hi, std::uint64_t n) {
+        w.beginObject();
+        w.field("loCycles", lo);
+        w.field("hiCycles", hi);
+        w.field("count", n);
+        w.endObject();
+    });
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream& os, const Trace& t)
+{
+    JsonWriter w(os, 0); // compact: traces are large
+    const double us_per_cycle = t.nsPerCycle() / 1000.0;
+    w.beginObject();
+    w.field("displayTimeUnit", "ns");
+    w.beginObject("otherData");
+    w.field("generator", "ccnuma-scale obs");
+    w.field("numProcs", t.numProcs());
+    w.field("eventsRecorded", t.events().recorded());
+    w.field("eventsDropped", t.events().dropped());
+    w.endObject();
+    w.beginArray("traceEvents");
+
+    // Name each processor row "proc P (node N)".
+    for (int p = 0; p < t.numProcs(); ++p) {
+        w.beginObject();
+        w.field("name", "thread_name");
+        w.field("ph", "M");
+        w.field("pid", static_cast<std::int64_t>(t.nodeOf(p)));
+        w.field("tid", p);
+        w.beginObject("args");
+        w.field("name", "proc " + std::to_string(p));
+        w.endObject();
+        w.endObject();
+    }
+
+    t.events().forEach([&](const TraceRecord& r) {
+        w.beginObject();
+        w.field("name", eventName(r.kind));
+        w.field("cat", "protocol");
+        w.field("pid", static_cast<std::int64_t>(t.nodeOf(r.proc)));
+        w.field("tid", static_cast<int>(r.proc));
+        w.field("ts", static_cast<double>(r.start) * us_per_cycle);
+        if (r.latency > 0) {
+            w.field("ph", "X");
+            w.field("dur",
+                    static_cast<double>(r.latency) * us_per_cycle);
+        } else {
+            w.field("ph", "i");
+            w.field("s", "t");
+        }
+        w.beginObject("args");
+        w.field("addr", hexAddr(r.addr));
+        w.field("home", static_cast<int>(r.home));
+        w.field("cycle", static_cast<std::uint64_t>(r.start));
+        w.field("latencyCycles",
+                static_cast<std::uint64_t>(r.latency));
+        w.field("aux", static_cast<int>(r.aux));
+        w.endObject();
+        w.endObject();
+    });
+
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+bool
+writeChromeTraceFile(const std::string& path, const Trace& t)
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    writeChromeTrace(f, t);
+    return static_cast<bool>(f);
+}
+
+void
+writeMetricsJson(std::ostream& os, const Trace& t,
+                 const sim::RunResult* r)
+{
+    JsonWriter w(os, 2);
+    w.beginObject();
+
+    w.beginObject("config");
+    w.field("epochCycles",
+            static_cast<std::uint64_t>(t.epochs().epochCycles()));
+    w.field("numProcs", t.numProcs());
+    w.field("nsPerCycle", t.nsPerCycle());
+    w.field("events", t.config().events);
+    w.field("intervals", t.config().intervals);
+    w.field("sharing", t.config().sharing);
+    w.endObject();
+
+    if (r) {
+        w.field("runCycles", static_cast<std::uint64_t>(r->time));
+        writeCounters(w, "totals", sumCounters(*r));
+    } else {
+        writeCounters(w, "totals", t.epochs().sumCounters());
+    }
+    writeTimes(w, "totalTimes", t.epochs().sumTimes());
+
+    w.beginObject("ring");
+    w.field("capacity",
+            static_cast<std::uint64_t>(t.events().capacity()));
+    w.field("recorded", t.events().recorded());
+    w.field("dropped", t.events().dropped());
+    w.endObject();
+
+    w.beginArray("epochs");
+    for (std::size_t i = 0; i < t.epochs().numEpochs(); ++i) {
+        const EpochSample& s = t.epochs().epoch(i);
+        w.beginObject();
+        w.field("epoch", static_cast<std::uint64_t>(i));
+        w.field("startCycle", static_cast<std::uint64_t>(
+                                  i * t.epochs().epochCycles()));
+        writeCounters(w, "counters", s.c);
+        writeTimes(w, "times", s.t);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.beginObject("latencyHistograms");
+    writeHisto(w, "missLocal", t.histLocal());
+    writeHisto(w, "missRemoteClean", t.histRemoteClean());
+    writeHisto(w, "missRemoteDirty", t.histRemoteDirty());
+    writeHisto(w, "upgrade", t.histUpgrade());
+    w.endObject();
+
+    w.beginArray("hotLines");
+    for (const auto& l : t.sharing().hotLines(32)) {
+        w.beginObject();
+        w.field("line", hexAddr(l.line));
+        w.field("class", SharingProfiler::className(l.cls));
+        w.field("invalidations", l.invalidations);
+        w.field("dirtyMisses", l.dirtyMisses);
+        w.field("upgrades", l.upgrades);
+        w.field("reads", l.reads);
+        w.field("writes", l.writes);
+        w.field("procsTouched", l.procsTouched);
+        w.field("wordsTouched", l.wordsTouched);
+        w.field("wordsShared", l.wordsShared);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.beginArray("hotPages");
+    for (const auto& p : t.sharing().hotPages(16)) {
+        w.beginObject();
+        w.field("page", static_cast<std::uint64_t>(p.page));
+        w.field("invalidations", p.invalidations);
+        w.field("dirtyMisses", p.dirtyMisses);
+        w.field("upgrades", p.upgrades);
+        w.field("linesTracked", p.linesTracked);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+    os << '\n';
+}
+
+bool
+writeMetricsJsonFile(const std::string& path, const Trace& t,
+                     const sim::RunResult* r)
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    writeMetricsJson(f, t, r);
+    return static_cast<bool>(f);
+}
+
+} // namespace ccnuma::obs

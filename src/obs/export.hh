@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Trace exporters: Chrome trace_event JSON (loadable in
+ * chrome://tracing and Perfetto) and a machine-readable metrics JSON
+ * document (epoch time-series, latency histograms, hot lines/pages).
+ */
+
+#ifndef CCNUMA_OBS_EXPORT_HH
+#define CCNUMA_OBS_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "obs/trace.hh"
+#include "sim/stats.hh"
+
+namespace ccnuma::obs {
+
+/**
+ * Write the event ring buffer as Chrome trace_event JSON.
+ *
+ * Mapping: pid = home/owning node, tid = processor; events with a
+ * latency become complete ("X") slices, instantaneous protocol events
+ * become instant ("i") events; timestamps are microseconds of simulated
+ * time. Thread-name metadata labels each processor row.
+ */
+void writeChromeTrace(std::ostream& os, const Trace& t);
+
+/// writeChromeTrace to a file; returns false on I/O error.
+bool writeChromeTraceFile(const std::string& path, const Trace& t);
+
+/**
+ * Write the metrics document: run totals, per-epoch counter/time
+ * samples, per-class miss-latency histograms and the sharing
+ * profiler's hot lines and pages. `r` (optional) supplies the
+ * authoritative run totals and wall time; pass nullptr to derive
+ * totals from the epoch series instead.
+ */
+void writeMetricsJson(std::ostream& os, const Trace& t,
+                      const sim::RunResult* r = nullptr);
+
+/// writeMetricsJson to a file; returns false on I/O error.
+bool writeMetricsJsonFile(const std::string& path, const Trace& t,
+                          const sim::RunResult* r = nullptr);
+
+} // namespace ccnuma::obs
+
+#endif // CCNUMA_OBS_EXPORT_HH

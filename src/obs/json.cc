@@ -1,0 +1,151 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ccnuma::obs {
+
+std::string
+JsonWriter::escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::prefix(const std::string& key)
+{
+    if (!stack_.empty()) {
+        if (stack_.back())
+            os_ << ',';
+        stack_.back() = true;
+        if (indent_ > 0) {
+            os_ << '\n';
+            for (std::size_t i = 0; i < stack_.size(); ++i)
+                for (int j = 0; j < indent_; ++j)
+                    os_ << ' ';
+        }
+    }
+    if (!key.empty())
+        os_ << '"' << escape(key) << "\":" << (indent_ > 0 ? " " : "");
+}
+
+void
+JsonWriter::beginObject(const std::string& key)
+{
+    prefix(key);
+    os_ << '{';
+    stack_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    const bool had = !stack_.empty() && stack_.back();
+    if (!stack_.empty())
+        stack_.pop_back();
+    if (had && indent_ > 0) {
+        os_ << '\n';
+        for (std::size_t i = 0; i < stack_.size(); ++i)
+            for (int j = 0; j < indent_; ++j)
+                os_ << ' ';
+    }
+    os_ << '}';
+}
+
+void
+JsonWriter::beginArray(const std::string& key)
+{
+    prefix(key);
+    os_ << '[';
+    stack_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    const bool had = !stack_.empty() && stack_.back();
+    if (!stack_.empty())
+        stack_.pop_back();
+    if (had && indent_ > 0) {
+        os_ << '\n';
+        for (std::size_t i = 0; i < stack_.size(); ++i)
+            for (int j = 0; j < indent_; ++j)
+                os_ << ' ';
+    }
+    os_ << ']';
+}
+
+void
+JsonWriter::field(const std::string& key, const std::string& v)
+{
+    prefix(key);
+    os_ << '"' << escape(v) << '"';
+}
+
+void
+JsonWriter::field(const std::string& key, const char* v)
+{
+    field(key, std::string(v));
+}
+
+void
+JsonWriter::field(const std::string& key, double v)
+{
+    prefix(key);
+    if (!std::isfinite(v)) {
+        os_ << "null";
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    os_ << buf;
+}
+
+void
+JsonWriter::field(const std::string& key, std::uint64_t v)
+{
+    prefix(key);
+    os_ << v;
+}
+
+void
+JsonWriter::field(const std::string& key, std::int64_t v)
+{
+    prefix(key);
+    os_ << v;
+}
+
+void
+JsonWriter::field(const std::string& key, int v)
+{
+    prefix(key);
+    os_ << v;
+}
+
+void
+JsonWriter::field(const std::string& key, bool v)
+{
+    prefix(key);
+    os_ << (v ? "true" : "false");
+}
+
+} // namespace ccnuma::obs

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal streaming JSON writer used by the observability exporters.
+ *
+ * Keeps an explicit container stack so commas and indentation come out
+ * right without building a DOM; numbers are emitted in a form every
+ * JSON parser (and Perfetto) accepts.
+ */
+
+#ifndef CCNUMA_OBS_JSON_HH
+#define CCNUMA_OBS_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccnuma::obs {
+
+/** Streaming writer for one JSON document. */
+class JsonWriter
+{
+  public:
+    /// Write to `os`; `indent` spaces per nesting level (0 = compact).
+    explicit JsonWriter(std::ostream& os, int indent = 2)
+        : os_(os), indent_(indent)
+    {
+    }
+
+    /// Open an object; `key` empty for array elements / the root.
+    void beginObject(const std::string& key = "");
+    void endObject();
+    /// Open an array; `key` empty for array elements / the root.
+    void beginArray(const std::string& key = "");
+    void endArray();
+
+    // Scalar fields. With an empty `key` they emit bare array elements.
+    void field(const std::string& key, const std::string& v);
+    void field(const std::string& key, const char* v);
+    void field(const std::string& key, double v);
+    void field(const std::string& key, std::uint64_t v);
+    void field(const std::string& key, std::int64_t v);
+    void field(const std::string& key, int v);
+    void field(const std::string& key, bool v);
+
+    /// Escape `s` for inclusion in a JSON string literal.
+    static std::string escape(const std::string& s);
+
+  private:
+    void prefix(const std::string& key); ///< comma+newline+indent+key
+    std::ostream& os_;
+    int indent_;
+    /// One bool per open container: "has at least one element".
+    std::vector<bool> stack_;
+};
+
+} // namespace ccnuma::obs
+
+#endif // CCNUMA_OBS_JSON_HH

@@ -1,0 +1,396 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace ccnuma::obs {
+
+const char*
+eventName(EventKind k)
+{
+    switch (k) {
+    case EventKind::MissLocal: return "miss_local";
+    case EventKind::MissRemoteClean: return "miss_remote_clean";
+    case EventKind::MissRemoteDirty: return "miss_remote_dirty";
+    case EventKind::Upgrade: return "upgrade";
+    case EventKind::Invalidation: return "invalidation";
+    case EventKind::Writeback: return "writeback";
+    case EventKind::Prefetch: return "prefetch";
+    case EventKind::FetchOp: return "fetch_op";
+    case EventKind::LockAcquire: return "lock_acquire";
+    case EventKind::BarrierPassed: return "barrier_passed";
+    case EventKind::PageMigration: return "page_migration";
+    }
+    return "unknown";
+}
+
+sim::ProcCounters
+EpochSeries::sumCounters() const
+{
+    sim::ProcCounters sum;
+    for (const EpochSample& s : samples_) {
+        const sim::ProcCounters& c = s.c;
+        sum.loads += c.loads;
+        sum.stores += c.stores;
+        sum.l2Hits += c.l2Hits;
+        sum.missLocal += c.missLocal;
+        sum.missRemoteClean += c.missRemoteClean;
+        sum.missRemoteDirty += c.missRemoteDirty;
+        sum.upgrades += c.upgrades;
+        sum.invalsSent += c.invalsSent;
+        sum.invalsReceived += c.invalsReceived;
+        sum.writebacks += c.writebacks;
+        sum.prefetchesIssued += c.prefetchesIssued;
+        sum.prefetchesUseful += c.prefetchesUseful;
+        sum.pageMigrations += c.pageMigrations;
+        sum.lockAcquires += c.lockAcquires;
+        sum.barriersPassed += c.barriersPassed;
+    }
+    return sum;
+}
+
+sim::ProcTimes
+EpochSeries::sumTimes() const
+{
+    sim::ProcTimes sum;
+    for (const EpochSample& s : samples_) {
+        sum.busy += s.t.busy;
+        sum.memStall += s.t.memStall;
+        sum.syncWait += s.t.syncWait;
+        sum.syncOp += s.t.syncOp;
+    }
+    return sum;
+}
+
+void
+LatencyHisto::add(Cycles lat)
+{
+    int b = lat < 2 ? 0 : std::bit_width(lat) - 1;
+    if (b >= kBuckets)
+        b = kBuckets - 1;
+    ++buckets_[b];
+    ++count_;
+    sum_ += lat;
+    if (count_ == 1 || lat < min_)
+        min_ = lat;
+    if (lat > max_)
+        max_ = lat;
+}
+
+Cycles
+LatencyHisto::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const std::uint64_t target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen > target)
+            return std::min(bucketHi(i) - 1, max_);
+    }
+    return max_;
+}
+
+SharingProfiler::SharingProfiler(std::uint32_t line_bytes,
+                                 std::uint32_t page_bytes)
+    : lineMask_(line_bytes - 1), pageBytes_(page_bytes ? page_bytes : 1)
+{
+}
+
+void
+SharingProfiler::noteAccess(ProcId p, Addr addr, bool write)
+{
+    const LineAddr line = addr & ~static_cast<Addr>(lineMask_);
+    LineInfo& li = lines_[line];
+    if (write)
+        ++li.writes;
+    else
+        ++li.reads;
+    li.procs[p >> 6] |= 1ull << (p & 63);
+
+    int w = static_cast<int>((addr & lineMask_) >> 3);
+    if (w >= kMaxWords)
+        w = kMaxWords - 1;
+    const std::uint32_t bit = 1u << w;
+    li.touchedMask |= bit;
+    if (write)
+        li.writtenMask |= bit;
+    if (li.wordFirstProc[w] < 0)
+        li.wordFirstProc[w] = static_cast<std::int16_t>(p);
+    else if (li.wordFirstProc[w] != static_cast<std::int16_t>(p))
+        li.sharedMask |= bit;
+}
+
+void
+SharingProfiler::noteConflict(LineAddr line, EventKind kind)
+{
+    LineInfo& li = lines_[line];
+    switch (kind) {
+    case EventKind::Invalidation: ++li.invals; break;
+    case EventKind::MissRemoteDirty: ++li.dirtyMisses; break;
+    case EventKind::Upgrade: ++li.upgrades; break;
+    default: break;
+    }
+}
+
+const char*
+SharingProfiler::className(Class c)
+{
+    switch (c) {
+    case Class::Private: return "private";
+    case Class::ReadShared: return "read_shared";
+    case Class::TrueSharing: return "true_sharing";
+    case Class::FalseSharing: return "false_sharing";
+    }
+    return "unknown";
+}
+
+SharingProfiler::LineReport
+SharingProfiler::makeReport(LineAddr line, const LineInfo& li) const
+{
+    LineReport r;
+    r.line = line;
+    r.invalidations = li.invals;
+    r.dirtyMisses = li.dirtyMisses;
+    r.upgrades = li.upgrades;
+    r.reads = li.reads;
+    r.writes = li.writes;
+    for (const std::uint64_t w : li.procs)
+        r.procsTouched += std::popcount(w);
+    r.wordsTouched = std::popcount(li.touchedMask);
+    r.wordsShared = std::popcount(li.sharedMask);
+    if (r.procsTouched <= 1)
+        r.cls = Class::Private;
+    else if (li.writes == 0)
+        r.cls = Class::ReadShared;
+    else if (li.sharedMask & li.writtenMask)
+        r.cls = Class::TrueSharing;
+    else
+        r.cls = Class::FalseSharing;
+    return r;
+}
+
+SharingProfiler::LineReport
+SharingProfiler::report(LineAddr line) const
+{
+    const auto it = lines_.find(line);
+    if (it == lines_.end()) {
+        LineReport r;
+        r.line = line;
+        return r;
+    }
+    return makeReport(line, it->second);
+}
+
+std::vector<SharingProfiler::LineReport>
+SharingProfiler::hotLines(std::size_t top_n) const
+{
+    std::vector<LineReport> all;
+    all.reserve(lines_.size());
+    for (const auto& [line, li] : lines_) {
+        if (li.invals + li.dirtyMisses + li.upgrades == 0)
+            continue;
+        all.push_back(makeReport(line, li));
+    }
+    std::sort(all.begin(), all.end(),
+              [](const LineReport& a, const LineReport& b) {
+                  return a.traffic() != b.traffic()
+                             ? a.traffic() > b.traffic()
+                             : a.line < b.line;
+              });
+    if (all.size() > top_n)
+        all.resize(top_n);
+    return all;
+}
+
+std::vector<SharingProfiler::PageReport>
+SharingProfiler::hotPages(std::size_t top_n) const
+{
+    std::unordered_map<sim::PageNum, PageReport> pages;
+    for (const auto& [line, li] : lines_) {
+        if (li.invals + li.dirtyMisses + li.upgrades == 0)
+            continue;
+        PageReport& pr = pages[line / pageBytes_];
+        pr.page = line / pageBytes_;
+        pr.invalidations += li.invals;
+        pr.dirtyMisses += li.dirtyMisses;
+        pr.upgrades += li.upgrades;
+        ++pr.linesTracked;
+    }
+    std::vector<PageReport> all;
+    all.reserve(pages.size());
+    for (const auto& [pg, pr] : pages)
+        all.push_back(pr);
+    std::sort(all.begin(), all.end(),
+              [](const PageReport& a, const PageReport& b) {
+                  return a.traffic() != b.traffic()
+                             ? a.traffic() > b.traffic()
+                             : a.page < b.page;
+              });
+    if (all.size() > top_n)
+        all.resize(top_n);
+    return all;
+}
+
+Trace::Trace(const sim::TraceConfig& tc, int num_procs,
+             std::uint32_t line_bytes, std::uint32_t page_bytes,
+             double ns_per_cycle, std::vector<NodeId> proc_node)
+    : cfg_(tc),
+      numProcs_(num_procs),
+      nsPerCycle_(ns_per_cycle),
+      procNode_(std::move(proc_node)),
+      events_(tc.events ? tc.ringCapacity : 0),
+      epochs_(tc.epochCycles),
+      sharing_(line_bytes, page_bytes)
+{
+}
+
+void
+Trace::onMiss(ProcId p, Cycles now, Cycles lat, LineAddr line,
+              NodeId home, EventKind kind, bool write)
+{
+    if (cfg_.intervals) {
+        EpochSample& s = epochs_.at(now);
+        switch (kind) {
+        case EventKind::MissLocal:
+            ++s.c.missLocal;
+            histLocal_.add(lat);
+            break;
+        case EventKind::MissRemoteClean:
+            ++s.c.missRemoteClean;
+            histClean_.add(lat);
+            break;
+        case EventKind::MissRemoteDirty:
+            ++s.c.missRemoteDirty;
+            histDirty_.add(lat);
+            break;
+        default: break;
+        }
+    }
+    if (cfg_.events)
+        events_.push({now, line, static_cast<std::uint32_t>(lat),
+                      static_cast<std::int16_t>(p),
+                      static_cast<std::int16_t>(home), kind,
+                      static_cast<std::uint8_t>(write ? 1 : 0)});
+    if (cfg_.sharing && kind == EventKind::MissRemoteDirty)
+        sharing_.noteConflict(line, kind);
+}
+
+void
+Trace::onUpgrade(ProcId p, Cycles now, Cycles lat, LineAddr line,
+                 NodeId home, int sharers_invalidated)
+{
+    if (cfg_.intervals) {
+        ++epochs_.at(now).c.upgrades;
+        histUpgrade_.add(lat);
+    }
+    if (cfg_.events)
+        events_.push({now, line, static_cast<std::uint32_t>(lat),
+                      static_cast<std::int16_t>(p),
+                      static_cast<std::int16_t>(home),
+                      EventKind::Upgrade,
+                      static_cast<std::uint8_t>(std::min(
+                          sharers_invalidated, 255))});
+    if (cfg_.sharing)
+        sharing_.noteConflict(line, EventKind::Upgrade);
+}
+
+void
+Trace::onInval(ProcId requester, ProcId victim, Cycles now,
+               LineAddr line, NodeId home)
+{
+    if (cfg_.intervals) {
+        EpochSample& s = epochs_.at(now);
+        ++s.c.invalsSent;
+        ++s.c.invalsReceived;
+    }
+    if (cfg_.events)
+        events_.push({now, line, 0, static_cast<std::int16_t>(victim),
+                      static_cast<std::int16_t>(home),
+                      EventKind::Invalidation,
+                      static_cast<std::uint8_t>(requester & 0xff)});
+    if (cfg_.sharing)
+        sharing_.noteConflict(line, EventKind::Invalidation);
+}
+
+void
+Trace::onWriteback(ProcId p, Cycles now, LineAddr line, NodeId home)
+{
+    if (cfg_.intervals)
+        ++epochs_.at(now).c.writebacks;
+    if (cfg_.events)
+        events_.push({now, line, 0, static_cast<std::int16_t>(p),
+                      static_cast<std::int16_t>(home),
+                      EventKind::Writeback, 0});
+}
+
+void
+Trace::onPrefetchIssue(ProcId p, Cycles now, LineAddr line, NodeId home,
+                       const sim::ProcCounters& folded)
+{
+    if (cfg_.intervals) {
+        EpochSample& s = epochs_.at(now);
+        ++s.c.prefetchesIssued;
+        s.c.missLocal += folded.missLocal;
+        s.c.missRemoteClean += folded.missRemoteClean;
+        s.c.missRemoteDirty += folded.missRemoteDirty;
+        s.c.writebacks += folded.writebacks;
+        s.c.pageMigrations += folded.pageMigrations;
+    }
+    if (cfg_.events)
+        events_.push({now, line, 0, static_cast<std::int16_t>(p),
+                      static_cast<std::int16_t>(home),
+                      EventKind::Prefetch, 0});
+}
+
+void
+Trace::onFetchOp(ProcId p, Cycles now, Cycles lat, Addr addr,
+                 NodeId home)
+{
+    // fetch&op has no ProcCounters entry; it appears in the event
+    // stream only.
+    if (cfg_.events)
+        events_.push({now, addr, static_cast<std::uint32_t>(lat),
+                      static_cast<std::int16_t>(p),
+                      static_cast<std::int16_t>(home),
+                      EventKind::FetchOp, 0});
+}
+
+void
+Trace::onLockAcquire(ProcId p, Cycles now, Addr line, NodeId home)
+{
+    if (cfg_.intervals)
+        ++epochs_.at(now).c.lockAcquires;
+    if (cfg_.events)
+        events_.push({now, line, 0, static_cast<std::int16_t>(p),
+                      static_cast<std::int16_t>(home),
+                      EventKind::LockAcquire, 0});
+}
+
+void
+Trace::onBarrierPassed(ProcId p, Cycles now, Addr line)
+{
+    if (cfg_.intervals)
+        ++epochs_.at(now).c.barriersPassed;
+    if (cfg_.events)
+        events_.push({now, line, 0, static_cast<std::int16_t>(p), -1,
+                      EventKind::BarrierPassed, 0});
+}
+
+void
+Trace::onPageMigration(ProcId p, Cycles now, Addr addr, NodeId from,
+                       NodeId to)
+{
+    if (cfg_.intervals)
+        ++epochs_.at(now).c.pageMigrations;
+    if (cfg_.events)
+        events_.push({now, addr, 0, static_cast<std::int16_t>(p),
+                      static_cast<std::int16_t>(from),
+                      EventKind::PageMigration,
+                      static_cast<std::uint8_t>(to & 0xff)});
+}
+
+} // namespace ccnuma::obs

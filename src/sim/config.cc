@@ -27,6 +27,8 @@ MachineConfig::validate() const
         err << "cache set count must be a power of two; ";
     if (quantum == 0)
         err << "quantum must be nonzero; ";
+    if (trace.any() && trace.epochCycles == 0)
+        err << "trace.epochCycles must be nonzero; ";
     const int nodes = numProcs <= procsPerNode && !oneProcPerNode
                           ? 1
                           : numNodes();

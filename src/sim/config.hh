@@ -12,6 +12,7 @@
 #ifndef CCNUMA_SIM_CONFIG_HH
 #define CCNUMA_SIM_CONFIG_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -44,6 +45,28 @@ enum class SyncKind {
 enum class BarrierAlg {
     Tournament,  ///< O(log P) tournament barrier.
     Centralized, ///< Single counter + sense-reversal flag.
+};
+
+/**
+ * Observability knobs (the `ccnuma::obs` subsystem). All three layers
+ * are purely observational — enabling them never changes simulated
+ * cycle counts — and all default off. When the project is built with
+ * -DCCNUMA_TRACING=OFF these flags are inert: the hooks are compiled
+ * out of the simulator entirely.
+ */
+struct TraceConfig {
+    /// Capture typed protocol events into a ring buffer.
+    bool events = false;
+    /// Slice counters/times into epochs and build latency histograms.
+    bool intervals = false;
+    /// Attribute coherence traffic to lines/pages (true/false sharing).
+    bool sharing = false;
+    /// Ring-buffer capacity in records (oldest overwritten on wrap).
+    std::size_t ringCapacity = 1u << 20;
+    /// Epoch length for the interval metrics, in cycles.
+    Cycles epochCycles = 100000;
+
+    bool any() const { return events || intervals || sharing; }
 };
 
 /**
@@ -121,6 +144,9 @@ struct MachineConfig {
     /// Charged at both memories; a quarter stalls the triggering
     /// access (the page is unavailable mid-move).
     Cycles migrationCycles = 20000;
+
+    /// Observability configuration (see TraceConfig).
+    TraceConfig trace;
 
     /// Use only one processor per node, leaving the sibling idle
     /// (Section 7.2). The machine then spans numProcs nodes.

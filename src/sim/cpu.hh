@@ -13,6 +13,7 @@
 
 #include <coroutine>
 
+#include "obs/trace.hh"
 #include "sim/memsys.hh"
 #include "sim/stats.hh"
 #include "sim/sync.hh"
@@ -45,6 +46,8 @@ class Cpu
     void
     busy(Cycles c)
     {
+        if (obs::kTracingCompiled && trace_)
+            trace_->addBusy(id_, now_, c);
         now_ += c;
         stats_->t.busy += c;
     }
@@ -53,6 +56,8 @@ class Cpu
     read(Addr addr)
     {
         const Cycles l = mem_->access(id_, now_, addr, false, *stats_);
+        if (obs::kTracingCompiled && trace_)
+            trace_->addMemStall(id_, now_, l);
         now_ += l;
         stats_->t.memStall += l;
     }
@@ -61,6 +66,8 @@ class Cpu
     write(Addr addr)
     {
         const Cycles l = mem_->access(id_, now_, addr, true, *stats_);
+        if (obs::kTracingCompiled && trace_)
+            trace_->addMemStall(id_, now_, l);
         now_ += l;
         stats_->t.memStall += l;
     }
@@ -69,6 +76,8 @@ class Cpu
     prefetch(Addr addr)
     {
         mem_->prefetch(id_, now_, addr, *stats_);
+        if (obs::kTracingCompiled && trace_)
+            trace_->addBusy(id_, now_, 1);
         now_ += 1; // issue slot
         stats_->t.busy += 1;
     }
@@ -81,6 +90,8 @@ class Cpu
     fetchOp(Addr addr)
     {
         const Cycles l = mem_->fetchOp(id_, now_, addr, *stats_);
+        if (obs::kTracingCompiled && trace_)
+            trace_->addMemStall(id_, now_, l);
         now_ += l;
         stats_->t.memStall += l;
     }
@@ -89,6 +100,8 @@ class Cpu
     rmw(Addr addr)
     {
         const Cycles l = mem_->llscRmw(id_, now_, addr, *stats_);
+        if (obs::kTracingCompiled && trace_)
+            trace_->addMemStall(id_, now_, l);
         now_ += l;
         stats_->t.memStall += l;
     }
@@ -175,15 +188,20 @@ class Cpu
     ProcStats& stats() { return *stats_; }
     const ProcStats& stats() const { return *stats_; }
     void setNow(Cycles t) { now_ = t; }
+    void attachTrace(obs::Trace* t) { trace_ = t; }
     void
     chargeSyncOp(Cycles c)
     {
+        if (obs::kTracingCompiled && trace_)
+            trace_->addSyncOp(id_, now_, c);
         now_ += c;
         stats_->t.syncOp += c;
     }
     void
     chargeSyncWait(Cycles c)
     {
+        if (obs::kTracingCompiled && trace_)
+            trace_->addSyncWait(id_, now_, c);
         now_ += c;
         stats_->t.syncWait += c;
     }
@@ -193,6 +211,8 @@ class Cpu
     wakeAt(Cycles t)
     {
         if (t > now_) {
+            if (obs::kTracingCompiled && trace_)
+                trace_->addSyncWait(id_, now_, t - now_);
             stats_->t.syncWait += t - now_;
             now_ = t;
         }
@@ -212,6 +232,7 @@ class Cpu
     MemSys* mem_;
     Scheduler* sched_;
     ProcStats* stats_;
+    obs::Trace* trace_ = nullptr;
     ProcId id_;
     int nprocs_;
     Cycles now_ = 0;

@@ -72,11 +72,22 @@ Machine::run(const Program& program)
     ran_ = true;
     statsView_.assign(cfg_.numProcs, ProcStats{});
     mem_.attachStats(&statsView_);
+    if (obs::kTracingCompiled && cfg_.trace.any()) {
+        std::vector<NodeId> proc_node(cfg_.numProcs);
+        for (int p = 0; p < cfg_.numProcs; ++p)
+            proc_node[p] = mem_.nodeOfProcess(p);
+        trace_ = std::make_shared<obs::Trace>(
+            cfg_.trace, cfg_.numProcs, cfg_.lineBytes, cfg_.pageBytes,
+            cfg_.nsPerCycle(), std::move(proc_node));
+        mem_.attachTrace(trace_.get());
+    }
     cpus_.clear();
     cpus_.reserve(cfg_.numProcs);
-    for (int p = 0; p < cfg_.numProcs; ++p)
+    for (int p = 0; p < cfg_.numProcs; ++p) {
         cpus_.emplace_back(*this, mem_, sched_, statsView_[p], p,
                            cfg_.numProcs);
+        cpus_.back().attachTrace(trace_.get());
+    }
     sched_.attach(&cpus_);
     tasks_.clear();
     tasks_.reserve(cfg_.numProcs);
@@ -93,6 +104,7 @@ Machine::run(const Program& program)
     for (const Cpu& c : cpus_)
         r.time = std::max(r.time, c.now());
     r.pageMigrations = mem_.pageTable().totalMigrations();
+    r.trace = trace_;
     return r;
 }
 
@@ -179,6 +191,8 @@ Machine::barrierArrive(BarrierId b, Cpu& cpu)
             w.wakeAt(wake);
             sched_.ready(p, w.now());
         }
+        if (obs::kTracingCompiled && trace_)
+            trace_->onBarrierPassed(p, w.now(), bs.line);
     }
     bs.arrivals.clear();
     return true;
@@ -191,6 +205,9 @@ Machine::lockAcquire(LockId l, Cpu& cpu)
     const Cycles op = syncRmwCost(cpu, ls.line, ls.lastHolder);
     cpu.chargeSyncOp(op);
     ++cpu.stats().c.lockAcquires;
+    if (obs::kTracingCompiled && trace_)
+        trace_->onLockAcquire(cpu.id(), cpu.now(), ls.line,
+                              mem_.syncHomeOf(ls.line));
     if (!ls.held) {
         ls.held = true;
         ls.owner = cpu.id();

@@ -10,9 +10,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "sim/config.hh"
 #include "sim/cpu.hh"
 #include "sim/memsys.hh"
@@ -70,6 +72,9 @@ class Machine
     const MachineConfig& config() const { return cfg_; }
     Topology& topology() { return topo_; }
     MemSys& mem() { return mem_; }
+    /// The run's observability bundle; null before run() or when
+    /// cfg.trace enables nothing (also shared via RunResult::trace).
+    const obs::Trace* trace() const { return trace_.get(); }
 
     // ---- called by Cpu ----
     bool barrierArrive(BarrierId b, Cpu& cpu);
@@ -91,6 +96,7 @@ class Machine
     Addr nextAddr_ = 1u << 20; // leave page 0 unused
     bool ran_ = false;
     std::vector<ProcStats> statsView_;
+    std::shared_ptr<obs::Trace> trace_;
 };
 
 } // namespace ccnuma::sim

@@ -136,6 +136,8 @@ MemSys::handleVictim(ProcId p, Cycles now, const CacheResult& r,
         useResource(hubFree_[home], now, cfg_.hubOccupancy);
         useResource(memFree_[home], now, cfg_.memOccupancy);
         ++st.c.writebacks;
+        if (traceOn())
+            trace_->onWriteback(p, now, line, home);
         e.state = DirState::Uncached;
         e.owner = kNoProc;
         e.sharers.clear();
@@ -166,6 +168,8 @@ MemSys::invalidateSharers(ProcId requester, NodeId home, Cycles now,
             ++(*allStats_)[s].c.invalsReceived;
         ++st.c.invalsSent;
         ++n;
+        if (traceOn())
+            trace_->onInval(requester, s, now, line, home);
         const NodeId sn = procNode_[s];
         useResource(hubFree_[sn], now, cfg_.hubOccupancy);
         const Cycles legs = legLatency(cfg_, topo_.route(home, sn)) +
@@ -187,6 +191,8 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
         ++st.c.stores;
     else
         ++st.c.loads;
+    if (traceOn())
+        trace_->onAccess(p, now, addr, write);
 
     Cache& cache = *caches_[p];
     const LineAddr line =
@@ -202,10 +208,14 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
                 if (it->second > now)
                     lat += it->second - now;
                 ++st.c.prefetchesUseful;
+                if (traceOn())
+                    trace_->onPrefetchUseful(p, now);
                 pend.erase(it);
             }
         }
         ++st.c.l2Hits;
+        if (traceOn())
+            trace_->onHit(p, now);
         return lat;
     }
 
@@ -220,6 +230,8 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
         useResource(memFree_[myNode], now, cfg_.migrationCycles / 4);
         migration_stall = cfg_.migrationCycles;
         ++st.c.pageMigrations;
+        if (traceOn())
+            trace_->onPageMigration(p, now, addr, home, myNode);
     }
 
     DirEntry& e = dir_.lookup(line);
@@ -231,6 +243,7 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
     if (res.hit && res.upgrade) {
         // Write hit on a Shared line: ownership upgrade at the home.
         ++st.c.upgrades;
+        const std::uint64_t inv_before = st.c.invalsSent;
         lat = cfg_.procCycles;
         lat += useResource(hubFree_[myNode], now + lat,
                            cfg_.hubOccupancy);
@@ -252,12 +265,17 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
         e.owner = p;
         e.sharers.clear();
         e.sharers.add(p);
+        if (traceOn())
+            trace_->onUpgrade(p, now, lat, line, home,
+                              static_cast<int>(st.c.invalsSent -
+                                               inv_before));
         return lat;
     }
 
     // True miss: victim first, then the fill transaction.
     handleVictim(p, now, res, st);
     pendingFill_[p].erase(line);
+    obs::EventKind miss_kind = obs::EventKind::MissLocal;
 
     const bool dirty_elsewhere =
         e.state == DirState::Dirty && e.owner != kNoProc && e.owner != p;
@@ -292,6 +310,7 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
         lat += fwd > cfg_.memCycles ? fwd - cfg_.memCycles : 0;
         lat += rep > direct ? rep - direct : 0;
         ++st.c.missRemoteDirty;
+        miss_kind = obs::EventKind::MissRemoteDirty;
         if (write) {
             caches_[owner]->invalidate(line);
             if (allStats_)
@@ -309,10 +328,13 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
             e.sharers.add(p);
         }
     } else {
-        if (home == myNode)
+        if (home == myNode) {
             ++st.c.missLocal;
-        else
+            miss_kind = obs::EventKind::MissLocal;
+        } else {
             ++st.c.missRemoteClean;
+            miss_kind = obs::EventKind::MissRemoteClean;
+        }
         if (write) {
             lat += invalidateSharers(p, home, now + lat, line, e, st);
             e.state = DirState::Dirty;
@@ -336,6 +358,9 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
         lat += netLeg(home, myNode, now + lat);
     }
     lat += cfg_.hubCycles + cfg_.procCycles;
+    if (traceOn())
+        trace_->onMiss(p, now, lat + migration_stall, line, home,
+                       miss_kind, write);
     return lat + migration_stall;
 }
 
@@ -348,14 +373,24 @@ MemSys::prefetch(ProcId p, Cycles now, Addr addr, ProcStats& st)
     const LineAddr line =
         addr & ~static_cast<Addr>(cfg_.lineBytes - 1);
     // Run the read transaction; loads/l2Hits counters are not disturbed.
+    // Tracing is muted around it: only the counters folded below exist
+    // from the issuing processor's point of view, and the single
+    // Prefetch event stands in for the whole transaction.
     ProcStats scratch;
+    const bool was_muted = traceMuted_;
+    traceMuted_ = true;
     const Cycles lat = access(p, now, addr, false, scratch);
+    traceMuted_ = was_muted;
     st.c.missLocal += scratch.c.missLocal;
     st.c.missRemoteClean += scratch.c.missRemoteClean;
     st.c.missRemoteDirty += scratch.c.missRemoteDirty;
     st.c.writebacks += scratch.c.writebacks;
     st.c.pageMigrations += scratch.c.pageMigrations;
     ++st.c.prefetchesIssued;
+    if (traceOn())
+        trace_->onPrefetchIssue(p, now, line,
+                                pageTable_.home(line, procNode_[p]),
+                                scratch.c);
     pendingFill_[p][line] = now + lat;
 }
 
@@ -379,6 +414,8 @@ MemSys::fetchOp(ProcId p, Cycles now, Addr addr, ProcStats& st)
         lat += cfg_.dirCycles;
     }
     lat += cfg_.hubCycles + cfg_.procCycles;
+    if (traceOn())
+        trace_->onFetchOp(p, now, lat, addr, home);
     return lat;
 }
 

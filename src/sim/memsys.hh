@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "sim/cache.hh"
 #include "sim/config.hh"
 #include "sim/directory.hh"
@@ -156,12 +157,25 @@ class MemSys
     Cycles invalidateSharers(ProcId requester, NodeId home, Cycles now,
                              LineAddr line, DirEntry& e, ProcStats& st);
 
+    /// True when observability hooks should fire. Folds to a
+    /// compile-time false with -DCCNUMA_TRACING=OFF, eliding every
+    /// hook from the access paths (the zero-overhead guarantee).
+    bool traceOn() const
+    {
+        return obs::kTracingCompiled && trace_ != nullptr &&
+               !traceMuted_;
+    }
+
     const MachineConfig cfg_;
     const Topology& topo_;
     PageTable pageTable_;
     Directory dir_;
     std::vector<std::unique_ptr<Cache>> caches_;
     std::vector<ProcStats>* allStats_ = nullptr;
+    obs::Trace* trace_ = nullptr;
+    /// Suppresses hooks while prefetch() runs its inner transaction
+    /// (whose loads/hits are not folded into the issuing processor).
+    bool traceMuted_ = false;
 
     // Contention clocks.
     std::vector<Resource> hubFree_;
@@ -175,6 +189,7 @@ class MemSys
 
     friend class Machine;
     void attachStats(std::vector<ProcStats>* s) { allStats_ = s; }
+    void attachTrace(obs::Trace* t) { trace_ = t; }
 };
 
 } // namespace ccnuma::sim

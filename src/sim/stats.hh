@@ -9,10 +9,15 @@
 #define CCNUMA_SIM_STATS_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/types.hh"
+
+namespace ccnuma::obs {
+class Trace;
+} // namespace ccnuma::obs
 
 namespace ccnuma::sim {
 
@@ -71,6 +76,10 @@ struct RunResult {
     Cycles time = 0;                ///< Max completion time over procs.
     std::vector<ProcStats> procs;   ///< Indexed by logical process.
     std::uint64_t pageMigrations = 0;
+    /// Observability bundle (events/epochs/sharing); non-null only when
+    /// MachineConfig::trace enabled something and tracing is compiled
+    /// in. See obs/trace.hh and obs/export.hh.
+    std::shared_ptr<const obs::Trace> trace;
 
     /// Average breakdown across processors, normalized per processor.
     Breakdown breakdown() const;
