@@ -10,18 +10,19 @@
 #define CCNUMA_BENCH_COMMON_HH
 
 #include <cstdio>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "apps/registry.hh"
 #include "core/report.hh"
+#include "core/seq_cache.hh"
 #include "core/study.hh"
 
 namespace ccnuma::bench {
 
-/// Sequential-time cache shared within one bench binary.
-using SeqCache = std::map<std::string, sim::Cycles>;
+/// Sequential-time cache shared within one bench binary (thread-safe,
+/// single-flight; see core/seq_cache.hh).
+using SeqCache = core::SeqBaselineCache;
 
 /// Measure app `name` at `size` on `procs` processors with an optional
 /// shared sequential baseline key (variants of one application share

@@ -5,47 +5,59 @@
  * shape: memory stall dominates most applications; synchronization
  * (wait time) dominates Water-Spatial.
  *
- * With --json=FILE (or CCNUMA_JSON=FILE) the breakdown series and
- * counter totals are also dumped as JSON, so the perf trajectory can
- * be tracked across PRs (e.g. --json=BENCH_fig3.json).
+ * The eleven application runs execute on the parallel StudyRunner:
+ * pass --jobs=N (or CCNUMA_JOBS; 0 = one worker per host core) to
+ * simulate N of them concurrently. Results are printed in the fixed
+ * application order regardless of completion order.
+ *
+ * With --json=FILE (or CCNUMA_JSON=FILE) the breakdown series, counter
+ * totals and engine timing are also dumped as JSON, so the perf
+ * trajectory can be tracked across PRs (e.g. --json=BENCH_fig3.json).
  */
 
-#include <cstring>
-
 #include "bench/common.hh"
+#include "core/cli.hh"
 #include "core/metrics.hh"
+#include "core/study_runner.hh"
 
 using namespace ccnuma;
-using bench::measureApp;
 
 int
 main(int argc, char** argv)
 {
-    std::string json_file;
-    if (const char* env = std::getenv("CCNUMA_JSON"))
-        json_file = env;
-    for (int i = 1; i < argc; ++i)
-        if (std::strncmp(argv[i], "--json=", 7) == 0)
-            json_file = argv[i] + 7;
-    core::MetricsSink sink(json_file);
+    const core::cli::Options opt = core::cli::parse(argc, argv);
+    core::cli::warnUnknown(opt);
+    core::MetricsSink sink(opt.jsonFile);
+
+    core::StudyPlan plan;
+    for (const auto& name : apps::originalApps())
+        plan.addParallelOnly(name,
+                             sim::MachineConfig::origin2000(128),
+                             [name] { return apps::makeApp(name, 0); });
+
+    core::StudyRunner runner({.jobs = opt.jobs, .progress = true});
+    const core::StudyResult res = runner.run(plan);
 
     core::printHeader(
         "Figure 3: average 128-proc breakdown, basic problem sizes");
-    for (const auto& name : apps::originalApps()) {
-        sim::MachineConfig cfg;
-        cfg.numProcs = 128;
-        auto app = apps::makeApp(name, 0);
-        const sim::RunResult r = core::runApp(cfg, *app);
-        core::printBreakdown(name, r.breakdown());
-        sink.add(name, r);
-        std::fflush(stdout);
+    for (const core::RunOutcome& r : res.runs) {
+        if (!r.ok) {
+            std::printf("%-24s FAILED: %s\n", r.name.c_str(),
+                        r.error.c_str());
+            continue;
+        }
+        core::printBreakdown(r.name, r.m.par.breakdown());
     }
+    std::printf("%zu runs in %.1fs host wall-clock with %d jobs\n",
+                res.runs.size(), res.wallSeconds, res.jobs);
+
     if (sink.enabled()) {
+        res.emit(sink);
         if (sink.write())
-            std::printf("wrote %s\n", json_file.c_str());
+            std::printf("wrote %s\n", opt.jsonFile.c_str());
         else
             std::fprintf(stderr, "failed to write %s\n",
-                         json_file.c_str());
+                         opt.jsonFile.c_str());
     }
-    return 0;
+    return res.failures() ? 1 : 0;
 }

@@ -23,7 +23,7 @@ namespace {
 void
 runCase(const char* label, const sim::MachineConfig& cfg,
         const std::string& app, std::uint64_t size,
-        std::map<std::string, sim::Cycles>& cache)
+        core::SeqBaselineCache& cache)
 {
     const auto m = core::measure(
         cfg, [&] { return apps::makeApp(app, size); }, &cache, app);
@@ -47,10 +47,9 @@ try {
 
     core::printHeader("machine explorer: " + app + " on " +
                       std::to_string(procs) + " procs");
-    std::map<std::string, sim::Cycles> cache;
+    core::SeqBaselineCache cache;
 
-    sim::MachineConfig base;
-    base.numProcs = procs;
+    const sim::MachineConfig base = sim::MachineConfig::origin2000(procs);
     runCase("baseline (manual placement)", base, app, size, cache);
 
     sim::MachineConfig rr = base;

@@ -14,40 +14,25 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include "apps/registry.hh"
+#include "core/cli.hh"
 #include "core/report.hh"
 #include "core/study.hh"
 #include "obs/export.hh"
 
 using namespace ccnuma;
 
-namespace {
-
-/// --trace=FILE beats the CCNUMA_TRACE environment variable.
-std::string
-traceFileArg(int argc, char** argv)
-{
-    for (int i = 1; i < argc; ++i)
-        if (std::strncmp(argv[i], "--trace=", 8) == 0)
-            return argv[i] + 8;
-    const char* env = std::getenv("CCNUMA_TRACE");
-    return env ? env : "";
-}
-
-} // namespace
-
 int
 main(int argc, char** argv)
 {
     // 1. Configure a machine: 64 processors, 2 per node, calibrated to
     //    the SGI Origin2000's latencies (Table 1 of the paper).
-    sim::MachineConfig cfg;
-    cfg.numProcs = 64;
-    const std::string trace_file = traceFileArg(argc, argv);
+    sim::MachineConfig cfg = sim::MachineConfig::origin2000(64);
+    const core::cli::Options opt = core::cli::parse(argc, argv);
+    core::cli::warnUnknown(opt);
+    const std::string trace_file = opt.traceFile;
     if (!trace_file.empty()) {
         cfg.trace.events = true;
         cfg.trace.intervals = true;
@@ -60,7 +45,7 @@ main(int argc, char** argv)
 
     // 3. Measure: runs the same program on a 1-processor machine for
     //    the baseline, then on the parallel machine.
-    std::map<std::string, sim::Cycles> seq_cache;
+    core::SeqBaselineCache seq_cache;
     const core::Measurement m = core::measure(
         cfg, [] { return apps::makeApp("fft"); }, &seq_cache, "fft");
 

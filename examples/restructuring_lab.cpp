@@ -33,10 +33,9 @@ try {
     }
 
     core::printHeader("restructuring lab: " + app + " vs " + restr);
-    std::map<std::string, sim::Cycles> seq_cache;
+    core::SeqBaselineCache seq_cache;
     for (const int P : {32, 128}) {
-        sim::MachineConfig cfg;
-        cfg.numProcs = P;
+        const sim::MachineConfig cfg = sim::MachineConfig::origin2000(P);
         // Both variants are measured against the original program's
         // sequential time, as in the paper.
         const auto orig = core::measure(

@@ -3,25 +3,33 @@
  * Scenario: "will my application scale to 128 processors?" -- the
  * paper's core question, for any application in the registry.
  *
- * Usage: scaling_study [app] [size] [--trace=FILE]
+ * Usage: scaling_study [app] [size] [--jobs=N] [--trace=FILE]
+ *                      [--json=FILE]
  *   e.g. scaling_study barnes 16384
- *        scaling_study water-spatial 32768
+ *        scaling_study water-spatial 32768 --jobs=4
+ *
+ * The machine-size sweep runs on the parallel StudyRunner: --jobs=N
+ * (or CCNUMA_JOBS; 0 = one worker per host core) simulates N grid
+ * cells concurrently, with results aggregated in submission order and
+ * the shared uniprocessor baseline simulated exactly once.
  *
  * With --trace=FILE (or CCNUMA_TRACE=FILE) the largest run is traced:
  * FILE gets a Chrome-trace JSON (chrome://tracing / Perfetto) and
  * FILE.metrics.json the epoch time-series, latency histograms and
- * hot-line sharing report.
+ * hot-line sharing report. With --json=FILE (or CCNUMA_JSON) the whole
+ * grid -- speedups, efficiencies, breakdowns, engine timing -- is
+ * dumped via core::MetricsSink.
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "apps/registry.hh"
+#include "core/cli.hh"
+#include "core/metrics.hh"
 #include "core/report.hh"
-#include "core/study.hh"
+#include "core/study_runner.hh"
 #include "obs/export.hh"
 
 using namespace ccnuma;
@@ -29,19 +37,10 @@ using namespace ccnuma;
 int
 main(int argc, char** argv)
 try {
-    std::string trace_file;
-    if (const char* env = std::getenv("CCNUMA_TRACE"))
-        trace_file = env;
-    std::vector<std::string> pos;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--trace=", 8) == 0)
-            trace_file = argv[i] + 8;
-        else
-            pos.emplace_back(argv[i]);
-    }
-    const std::string app = !pos.empty() ? pos[0] : "water-spatial";
-    const std::uint64_t size =
-        pos.size() > 1 ? std::strtoull(pos[1].c_str(), nullptr, 10) : 0;
+    const core::cli::Options opt = core::cli::parse(argc, argv);
+    core::cli::warnUnknown(opt);
+    const std::string app = opt.positionalOr(0, "water-spatial");
+    const std::uint64_t size = opt.positionalOr(1, std::uint64_t{0});
 
     core::printHeader("scaling study: " + app);
     std::printf("problem size: %llu %s\n\n",
@@ -49,44 +48,66 @@ try {
                     size ? size : apps::basicSize(app)),
                 apps::sizeUnit(app).c_str());
 
-    std::map<std::string, sim::Cycles> seq_cache;
-    std::printf("%6s %10s %8s %8s   breakdown\n", "procs", "speedup",
-                "effcy", "scales?");
     const std::vector<int> sizes = {2, 8, 32, 64, 128};
+    core::StudyPlan plan;
     for (const int P : sizes) {
-        sim::MachineConfig cfg;
-        cfg.numProcs = P;
-        if (!trace_file.empty() && P == sizes.back()) {
+        sim::MachineConfig cfg = sim::MachineConfig::origin2000(P);
+        if (!opt.traceFile.empty() && P == sizes.back()) {
             // Trace the largest machine: that run is the one whose
             // scaling loss needs explaining.
             cfg.trace.events = true;
             cfg.trace.intervals = true;
             cfg.trace.sharing = true;
         }
-        const core::Measurement m = core::measure(
-            cfg, [&] { return apps::makeApp(app, size); }, &seq_cache,
-            app);
+        plan.add(app + " P=" + std::to_string(P), cfg,
+                 [app, size] { return apps::makeApp(app, size); }, app);
+    }
+
+    core::StudyRunner runner({.jobs = opt.jobs, .progress = true});
+    const core::StudyResult res = runner.run(plan);
+
+    std::printf("%6s %10s %8s %8s   breakdown\n", "procs", "speedup",
+                "effcy", "scales?");
+    for (const core::RunOutcome& r : res.runs) {
+        if (!r.ok) {
+            std::printf("%6d   run failed: %s\n", r.nprocs,
+                        r.error.c_str());
+            continue;
+        }
+        const core::Measurement& m = r.m;
         const auto b = m.par.breakdown();
         std::printf("%6d %10.1f %7.1f%% %8s   busy %.0f%% mem %.0f%% "
                     "sync %.0f%%\n",
-                    P, m.speedup(), m.efficiency() * 100,
+                    r.nprocs, m.speedup(), m.efficiency() * 100,
                     m.efficiency() >= core::kGoodEfficiency ? "yes"
                                                             : "no",
                     b.busy * 100, b.mem * 100, b.sync * 100);
-        std::fflush(stdout);
-        if (!trace_file.empty() && P == sizes.back() && m.par.trace) {
-            const obs::Trace& t = *m.par.trace;
-            core::printHeader("observability: " + app + " at " +
-                              std::to_string(P) + " procs");
-            core::printLatencyHistograms(t);
-            core::printHotLines(t, 10);
-            if (obs::writeChromeTraceFile(trace_file, t))
-                std::printf("wrote %s (chrome://tracing / Perfetto)\n",
-                            trace_file.c_str());
-            const std::string metrics = trace_file + ".metrics.json";
-            if (obs::writeMetricsJsonFile(metrics, t, &m.par))
-                std::printf("wrote %s\n", metrics.c_str());
-        }
+    }
+    std::printf("\n%zu runs in %.1fs host wall-clock with %d jobs\n",
+                res.runs.size(), res.wallSeconds, res.jobs);
+
+    if (!opt.jsonFile.empty()) {
+        core::MetricsSink sink(opt.jsonFile);
+        res.emit(sink);
+        if (sink.write())
+            std::printf("wrote %s\n", opt.jsonFile.c_str());
+    }
+
+    const core::RunOutcome* largest =
+        res.runs.empty() ? nullptr : &res.runs.back();
+    if (!opt.traceFile.empty() && largest && largest->ok &&
+        largest->m.par.trace) {
+        const obs::Trace& t = *largest->m.par.trace;
+        core::printHeader("observability: " + app + " at " +
+                          std::to_string(largest->nprocs) + " procs");
+        core::printLatencyHistograms(t);
+        core::printHotLines(t, 10);
+        if (obs::writeChromeTraceFile(opt.traceFile, t))
+            std::printf("wrote %s (chrome://tracing / Perfetto)\n",
+                        opt.traceFile.c_str());
+        const std::string metrics = opt.traceFile + ".metrics.json";
+        if (obs::writeMetricsJsonFile(metrics, t, &largest->m.par))
+            std::printf("wrote %s\n", metrics.c_str());
     }
 
     const std::string restr = apps::restructuredVariant(app);
@@ -95,12 +116,12 @@ try {
                     "application is \"%s\";\ntry: scaling_study %s\n",
                     restr.c_str(), restr.c_str());
     }
-    return 0;
+    return res.failures() ? 1 : 0;
 } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     std::fprintf(stderr, "known applications: ");
-    for (const auto& n : ccnuma::apps::originalApps())
+    for (const auto& n : ccnuma::apps::listApps())
         std::fprintf(stderr, "%s ", n.c_str());
-    std::fprintf(stderr, "(+ variants, see README)\n");
+    std::fprintf(stderr, "\n");
     return 1;
 }

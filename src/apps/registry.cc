@@ -17,6 +17,19 @@
 
 namespace ccnuma::apps {
 
+namespace {
+
+[[noreturn]] void
+throwUnknownApp(const std::string& name)
+{
+    std::string msg = "unknown app: " + name + "; valid names:";
+    for (const std::string& known : listApps())
+        msg += " " + known;
+    throw std::invalid_argument(msg);
+}
+
+} // namespace
+
 std::uint64_t
 basicSize(const std::string& name)
 {
@@ -42,7 +55,7 @@ basicSize(const std::string& name)
         return 422; // CPCS-422
     if (name.rfind("protein", 0) == 0)
         return 16; // helix16
-    throw std::invalid_argument("unknown app: " + name);
+    throwUnknownApp(name);
 }
 
 std::string
@@ -67,6 +80,37 @@ sizeUnit(const std::string& name)
     if (name.rfind("protein", 0) == 0)
         return "helix leaves";
     return "size";
+}
+
+const std::vector<std::string>&
+listApps()
+{
+    static const std::vector<std::string> names = {
+        "barnes",       "barnes-mergetree",
+        "barnes-spatial",
+        "fft",          "fft-implicit",
+        "fft-nostagger", "fft-prefetch",
+        "infer",        "infer-static",
+        "ocean",        "ocean-rowwise",
+        "protein",      "protein-noregroup",
+        "radix",        "radix-prefetch",
+        "raytrace",     "raytrace-nostatslock",
+        "samplesort",   "samplesort-prefetch",
+        "shearwarp",    "shearwarp-locality",
+        "volrend",      "volrend-balanced",
+        "water-nsq",    "water-nsq-interchanged",
+        "water-spatial",
+    };
+    return names;
+}
+
+AppPtr
+tryMakeApp(const std::string& name, std::uint64_t size)
+{
+    for (const std::string& known : listApps())
+        if (known == name)
+            return makeApp(name, size);
+    return nullptr;
 }
 
 AppPtr
@@ -153,7 +197,7 @@ makeApp(const std::string& name, std::uint64_t size)
         c.regroup = name == "protein";
         return std::make_unique<ProteinApp>(c);
     }
-    throw std::invalid_argument("unknown app: " + name);
+    throwUnknownApp(name);
 }
 
 const std::vector<std::string>&

@@ -30,9 +30,16 @@ namespace ccnuma::apps {
  * `size` is the app's natural problem-size unit (see basicSize());
  * size == 0 means the basic size.
  *
- * @throws std::invalid_argument for unknown names.
+ * @throws std::invalid_argument for unknown names; the message lists
+ * every valid name.
  */
 AppPtr makeApp(const std::string& name, std::uint64_t size = 0);
+
+/// Non-throwing makeApp: nullptr for unknown names.
+AppPtr tryMakeApp(const std::string& name, std::uint64_t size = 0);
+
+/// Every constructible name: the eleven originals plus all variants.
+const std::vector<std::string>& listApps();
 
 /// The app's basic problem size (Table 2, scaled per DESIGN.md).
 std::uint64_t basicSize(const std::string& name);

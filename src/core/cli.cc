@@ -1,0 +1,70 @@
+#include "core/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ccnuma::core::cli {
+
+namespace {
+
+/// Returns the value part if `arg` is "--name=value", else nullptr.
+const char*
+flagValue(const char* arg, const char* name)
+{
+    const std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, "--", 2) != 0 ||
+        std::strncmp(arg + 2, name, n) != 0 || arg[2 + n] != '=')
+        return nullptr;
+    return arg + 2 + n + 1;
+}
+
+} // namespace
+
+std::uint64_t
+Options::positionalOr(std::size_t i, std::uint64_t fallback) const
+{
+    if (i >= positional.size())
+        return fallback;
+    return std::strtoull(positional[i].c_str(), nullptr, 10);
+}
+
+Options
+parse(int argc, char** argv)
+{
+    Options opt;
+    if (const char* env = std::getenv("CCNUMA_TRACE"))
+        opt.traceFile = env;
+    if (const char* env = std::getenv("CCNUMA_JSON"))
+        opt.jsonFile = env;
+    if (const char* env = std::getenv("CCNUMA_JOBS"))
+        opt.jobs = std::atoi(env);
+
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (const char* v = flagValue(arg, "trace"))
+            opt.traceFile = v;
+        else if (const char* v = flagValue(arg, "json"))
+            opt.jsonFile = v;
+        else if (const char* v = flagValue(arg, "jobs"))
+            opt.jobs = std::atoi(v);
+        else if (std::strncmp(arg, "--", 2) == 0)
+            opt.unknown.emplace_back(arg);
+        else
+            opt.positional.emplace_back(arg);
+    }
+    return opt;
+}
+
+bool
+warnUnknown(const Options& opt)
+{
+    for (const std::string& f : opt.unknown)
+        std::fprintf(stderr,
+                     "warning: unknown flag %s (known: --trace=FILE "
+                     "--json=FILE --jobs=N)\n",
+                     f.c_str());
+    return opt.unknown.empty();
+}
+
+} // namespace ccnuma::core::cli

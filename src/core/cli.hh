@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared command-line handling for the example and bench binaries.
+ * Every driver understands the same flags:
+ *
+ *   --trace=FILE   capture + export an observability trace
+ *                  (env fallback: CCNUMA_TRACE)
+ *   --json=FILE    dump machine-readable metrics via core::MetricsSink
+ *                  (env fallback: CCNUMA_JSON)
+ *   --jobs=N       StudyRunner worker threads; 0 = one per host core
+ *                  (env fallback: CCNUMA_JOBS)
+ *
+ * Flags beat environment variables. Anything else starting with "--"
+ * is collected in `unknown`; bare words are positional arguments.
+ */
+
+#ifndef CCNUMA_CORE_CLI_HH
+#define CCNUMA_CORE_CLI_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccnuma::core::cli {
+
+struct Options {
+    std::string traceFile;
+    std::string jsonFile;
+    int jobs = 1;
+    std::vector<std::string> positional;
+    std::vector<std::string> unknown;
+
+    /// positional[i] or `fallback` when absent.
+    std::string positionalOr(std::size_t i,
+                             const std::string& fallback) const
+    {
+        return i < positional.size() ? positional[i] : fallback;
+    }
+    /// positional[i] parsed as u64, or `fallback` when absent.
+    std::uint64_t positionalOr(std::size_t i,
+                               std::uint64_t fallback) const;
+};
+
+/// Parse argv (argv[0] skipped) with environment-variable fallbacks.
+Options parse(int argc, char** argv);
+
+/// Print a warning per unknown flag; returns true if there were none.
+bool warnUnknown(const Options& opt);
+
+} // namespace ccnuma::core::cli
+
+#endif // CCNUMA_CORE_CLI_HH

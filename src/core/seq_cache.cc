@@ -1,0 +1,93 @@
+#include "core/seq_cache.hh"
+
+namespace ccnuma::core {
+
+sim::Cycles
+SeqBaselineCache::getOrCompute(const std::string& key,
+                               const Compute& compute)
+{
+    if (key.empty())
+        return compute();
+
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        auto it = slots_.find(key);
+        if (it == slots_.end()) {
+            it = slots_.emplace(key, Slot{}).first;
+            it->second.inFlight = true;
+            break;
+        }
+        if (it->second.ready) {
+            ++hits_;
+            return it->second.value;
+        }
+        // Someone else is computing this key; wait for the verdict.
+        // On wake the slot is either ready (count it as a hit) or gone
+        // (the leader failed) — loop and re-decide.
+        cv_.wait(lk);
+    }
+
+    // We are the leader for `key`: compute without holding the lock so
+    // other keys (and waiters) make progress.
+    lk.unlock();
+    sim::Cycles value = 0;
+    try {
+        value = compute();
+    } catch (...) {
+        // Erase the pending slot so a waiter can retry as leader, and
+        // surface the failure only to our own caller.
+        lk.lock();
+        slots_.erase(key);
+        cv_.notify_all();
+        throw;
+    }
+    lk.lock();
+    Slot& s = slots_[key];
+    s.value = value;
+    s.ready = true;
+    s.inFlight = false;
+    cv_.notify_all();
+    return value;
+}
+
+std::optional<sim::Cycles>
+SeqBaselineCache::lookup(const std::string& key) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = slots_.find(key);
+    if (it == slots_.end() || !it->second.ready)
+        return std::nullopt;
+    return it->second.value;
+}
+
+void
+SeqBaselineCache::insert(const std::string& key, sim::Cycles value)
+{
+    if (key.empty())
+        return;
+    std::lock_guard<std::mutex> lk(mu_);
+    Slot& s = slots_[key];
+    s.value = value;
+    s.ready = true;
+    s.inFlight = false;
+    cv_.notify_all();
+}
+
+std::size_t
+SeqBaselineCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t n = 0;
+    for (const auto& [k, s] : slots_)
+        n += s.ready ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+SeqBaselineCache::hits() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return hits_;
+}
+
+} // namespace ccnuma::core

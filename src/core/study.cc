@@ -12,32 +12,41 @@ runApp(const sim::MachineConfig& cfg, apps::App& app)
 
 Measurement
 measure(const sim::MachineConfig& cfg, const AppFactory& factory,
-        std::map<std::string, sim::Cycles>* seq_cache,
-        const std::string& seq_key)
+        SeqBaselineCache* seq_cache, const std::string& seq_key)
 {
     Measurement out;
     out.nprocs = cfg.numProcs;
 
-    const bool cached = seq_cache && !seq_key.empty() &&
-                        seq_cache->count(seq_key);
-    if (cached) {
-        out.seqTime = (*seq_cache)[seq_key];
-    } else {
-        sim::MachineConfig seq_cfg = cfg;
-        seq_cfg.numProcs = 1;
-        seq_cfg.oneProcPerNode = false;
-        // The baseline is only timed; don't trace it (tracing never
-        // changes timing, this just avoids pointless capture cost).
-        seq_cfg.trace = {};
+    const auto simulate_baseline = [&]() -> sim::Cycles {
         apps::AppPtr seq_app = factory();
-        out.seqTime = runApp(seq_cfg, *seq_app).time;
-        if (seq_cache && !seq_key.empty())
-            (*seq_cache)[seq_key] = out.seqTime;
-    }
+        return runApp(cfg.baseline(), *seq_app).time;
+    };
+    out.seqTime = seq_cache
+                      ? seq_cache->getOrCompute(seq_key,
+                                                simulate_baseline)
+                      : simulate_baseline();
 
     apps::AppPtr par_app = factory();
     out.par = runApp(cfg, *par_app);
     out.parTime = out.par.time;
+    return out;
+}
+
+Measurement
+measure(const sim::MachineConfig& cfg, const AppFactory& factory,
+        std::map<std::string, sim::Cycles>* seq_cache,
+        const std::string& seq_key)
+{
+    // Deprecated raw-map path: funnel through a throwaway typed cache,
+    // copying the map's entries in and the (single) new entry back out.
+    SeqBaselineCache cache;
+    if (seq_cache)
+        for (const auto& [k, v] : *seq_cache)
+            cache.insert(k, v);
+    const Measurement out =
+        measure(cfg, factory, seq_cache ? &cache : nullptr, seq_key);
+    if (seq_cache && !seq_key.empty())
+        (*seq_cache)[seq_key] = out.seqTime;
     return out;
 }
 

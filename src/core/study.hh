@@ -4,6 +4,10 @@
  * speedup/parallel efficiency against a uniprocessor baseline of the
  * same program (the paper's methodology, Section 2.3), and sweep
  * problem sizes and machine sizes.
+ *
+ * Baselines are memoized in a thread-safe SeqBaselineCache (see
+ * seq_cache.hh); for whole grids of runs, prefer the parallel
+ * StudyRunner (study_runner.hh) over calling measure() in a loop.
  */
 
 #ifndef CCNUMA_CORE_STUDY_HH
@@ -15,6 +19,7 @@
 #include <vector>
 
 #include "apps/app.hh"
+#include "core/seq_cache.hh"
 #include "sim/machine.hh"
 
 namespace ccnuma::core {
@@ -43,16 +48,30 @@ struct Measurement {
 
 /**
  * Measure speedup of factory() on `cfg` against the same program on a
- * 1-processor machine with otherwise identical parameters.
+ * 1-processor machine with otherwise identical parameters
+ * (cfg.baseline()).
  *
  * `seq_cache` (optional) memoizes sequential times across calls keyed
- * by a caller-chosen string (e.g. "fft-2^20").
+ * by a caller-chosen string (e.g. "fft-2^20"); the cache is thread-safe
+ * and single-flight, so concurrent callers sharing a key simulate the
+ * baseline exactly once.
  */
 Measurement measure(const sim::MachineConfig& cfg,
                     const AppFactory& factory,
-                    std::map<std::string, sim::Cycles>* seq_cache =
-                        nullptr,
+                    SeqBaselineCache* seq_cache = nullptr,
                     const std::string& seq_key = "");
+
+/**
+ * Deprecated shim for the pre-StudyRunner signature. The raw-map cache
+ * is neither thread-safe nor single-flight; migrate to the
+ * SeqBaselineCache overload. Removed after one release.
+ */
+[[deprecated("pass a core::SeqBaselineCache instead of a raw "
+             "std::map cache")]]
+Measurement measure(const sim::MachineConfig& cfg,
+                    const AppFactory& factory,
+                    std::map<std::string, sim::Cycles>* seq_cache,
+                    const std::string& seq_key);
 
 /// The paper's "scaling well" threshold: 60% parallel efficiency.
 inline constexpr double kGoodEfficiency = 0.60;

@@ -1,0 +1,168 @@
+#include "core/study_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "core/metrics.hh"
+
+namespace ccnuma::core {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+int
+resolveJobs(int requested, std::size_t work_items)
+{
+    int jobs = requested;
+    if (jobs <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        jobs = hw ? static_cast<int>(hw) : 1;
+    }
+    if (work_items &&
+        static_cast<std::size_t>(jobs) > work_items)
+        jobs = static_cast<int>(work_items);
+    return jobs < 1 ? 1 : jobs;
+}
+
+} // namespace
+
+std::size_t
+StudyResult::failures() const
+{
+    std::size_t n = 0;
+    for (const RunOutcome& r : runs)
+        n += r.ok ? 0 : 1;
+    return n;
+}
+
+const RunOutcome*
+StudyResult::find(const std::string& name) const
+{
+    for (const RunOutcome& r : runs)
+        if (r.name == name)
+            return &r;
+    return nullptr;
+}
+
+void
+StudyResult::emit(MetricsSink& sink) const
+{
+    if (!sink.enabled())
+        return;
+    for (const RunOutcome& r : runs) {
+        if (!r.ok) {
+            sink.addScalar(r.name, "failed", 1.0);
+            continue;
+        }
+        sink.add(r.name, r.m.par);
+        sink.addScalar(r.name, "nprocs", r.nprocs);
+        if (r.m.seqTime) {
+            sink.addScalar(r.name, "seqCycles",
+                           static_cast<double>(r.m.seqTime));
+            sink.addScalar(r.name, "speedup", r.m.speedup());
+            sink.addScalar(r.name, "efficiency", r.m.efficiency());
+        }
+        sink.addScalar(r.name, "hostSeconds", r.seconds);
+    }
+    sink.addScalar("_study", "wallSeconds", wallSeconds);
+    sink.addScalar("_study", "jobs", jobs);
+    sink.addScalar("_study", "runs", static_cast<double>(runs.size()));
+    sink.addScalar("_study", "failures",
+                   static_cast<double>(failures()));
+}
+
+StudyRunner::StudyRunner(StudyOptions opt) : opt_(opt) {}
+
+StudyResult
+StudyRunner::run(const StudyPlan& plan)
+{
+    const std::vector<RunSpec>& specs = plan.specs();
+    StudyResult result;
+    result.runs.resize(specs.size());
+    result.jobs = resolveJobs(opt_.jobs, specs.size());
+    const auto study_t0 = std::chrono::steady_clock::now();
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mu;
+
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= specs.size())
+                return;
+            const RunSpec& spec = specs[i];
+            RunOutcome& out = result.runs[i];
+            out.name = spec.name;
+            out.nprocs = spec.cfg.numProcs;
+            const auto t0 = std::chrono::steady_clock::now();
+            try {
+                if (spec.baseline) {
+                    out.m = measure(spec.cfg, spec.factory, &cache_,
+                                    spec.seqKey);
+                } else {
+                    out.m.nprocs = spec.cfg.numProcs;
+                    apps::AppPtr app = spec.factory();
+                    out.m.par = runApp(spec.cfg, *app);
+                    out.m.parTime = out.m.par.time;
+                }
+                out.ok = true;
+            } catch (const std::exception& e) {
+                out.error = e.what();
+            } catch (...) {
+                out.error = "unknown exception";
+            }
+            out.seconds = secondsSince(t0);
+            const std::size_t finished =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (opt_.progress) {
+                std::lock_guard<std::mutex> lk(progress_mu);
+                if (out.ok && spec.baseline)
+                    std::fprintf(stderr,
+                                 "[%zu/%zu] %s: speedup %.1f on %d "
+                                 "procs (%.2fs)\n",
+                                 finished, specs.size(),
+                                 out.name.c_str(), out.m.speedup(),
+                                 out.nprocs, out.seconds);
+                else if (out.ok)
+                    std::fprintf(stderr,
+                                 "[%zu/%zu] %s: done (%.2fs)\n",
+                                 finished, specs.size(),
+                                 out.name.c_str(), out.seconds);
+                else
+                    std::fprintf(stderr,
+                                 "[%zu/%zu] %s: FAILED: %s\n",
+                                 finished, specs.size(),
+                                 out.name.c_str(), out.error.c_str());
+                std::fflush(stderr);
+            }
+        }
+    };
+
+    if (result.jobs == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(result.jobs);
+        for (int t = 0; t < result.jobs; ++t)
+            pool.emplace_back(worker);
+        for (std::thread& t : pool)
+            t.join();
+    }
+
+    result.wallSeconds = secondsSince(study_t0);
+    return result;
+}
+
+} // namespace ccnuma::core

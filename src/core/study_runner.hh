@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The parallel study engine: execute a declarative grid of experiment
+ * runs (a StudyPlan of RunSpecs) on a pool of host threads.
+ *
+ * The paper's methodology is a large grid of independent simulations —
+ * eleven applications x {32,64,96,128} processors x problem sizes x
+ * machine variants. Each sim::Machine is self-contained, so the grid is
+ * embarrassingly parallel; the engine exploits that while guaranteeing
+ * results that are cycle-identical to running the same plan serially:
+ *
+ *  - Deterministic aggregation: results come back in submission order
+ *    regardless of which worker finished first.
+ *  - Single-flight baselines: RunSpecs sharing a seqKey share one
+ *    uniprocessor baseline simulation (SeqBaselineCache), never two.
+ *  - Exception isolation: a throwing run fails only its own cell; the
+ *    rest of the study completes.
+ *  - Progress + timing: optional per-run progress lines on stderr, and
+ *    the study's host wall-clock in StudyResult.
+ */
+
+#ifndef CCNUMA_CORE_STUDY_RUNNER_HH
+#define CCNUMA_CORE_STUDY_RUNNER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/seq_cache.hh"
+#include "core/study.hh"
+
+namespace ccnuma::core {
+
+class MetricsSink;
+
+/** One cell of a study grid: a named machine + application pairing. */
+struct RunSpec {
+    std::string name;        ///< Label in results, progress and JSON.
+    sim::MachineConfig cfg;
+    AppFactory factory;
+    /// Baseline memo key; specs sharing a key share one uniprocessor
+    /// baseline run. Empty = private (uncached) baseline.
+    std::string seqKey;
+    /// When false, skip the baseline entirely (parallel run only;
+    /// Measurement::seqTime stays 0 and speedup() reads 0).
+    bool baseline = true;
+};
+
+/** An ordered list of RunSpecs; order defines result order. */
+class StudyPlan
+{
+  public:
+    StudyPlan& add(RunSpec spec)
+    {
+        specs_.push_back(std::move(spec));
+        return *this;
+    }
+    /// Convenience: measure `factory` on `cfg` against a (shared, when
+    /// `seqKey` non-empty) uniprocessor baseline.
+    StudyPlan& add(std::string name, const sim::MachineConfig& cfg,
+                   AppFactory factory, std::string seqKey = "")
+    {
+        return add(RunSpec{std::move(name), cfg, std::move(factory),
+                           std::move(seqKey), true});
+    }
+    /// Convenience: parallel run only, no baseline (e.g. breakdowns).
+    StudyPlan& addParallelOnly(std::string name,
+                               const sim::MachineConfig& cfg,
+                               AppFactory factory)
+    {
+        return add(RunSpec{std::move(name), cfg, std::move(factory),
+                           "", false});
+    }
+
+    const std::vector<RunSpec>& specs() const { return specs_; }
+    std::size_t size() const { return specs_.size(); }
+    bool empty() const { return specs_.empty(); }
+
+  private:
+    std::vector<RunSpec> specs_;
+};
+
+/** Outcome of one RunSpec. Exactly one of ok/error is meaningful. */
+struct RunOutcome {
+    std::string name;
+    int nprocs = 0;
+    bool ok = false;
+    std::string error;    ///< what() of the exception when !ok.
+    Measurement m;        ///< Valid only when ok.
+    double seconds = 0;   ///< Host wall-clock of this cell.
+};
+
+/** All outcomes of one study, in plan submission order. */
+struct StudyResult {
+    std::vector<RunOutcome> runs;
+    double wallSeconds = 0;  ///< Host wall-clock of the whole study.
+    int jobs = 1;            ///< Worker threads actually used.
+
+    std::size_t failures() const;
+    const RunOutcome* find(const std::string& name) const;
+    /// Emit the full grid into `sink`: per-run breakdown/totals plus
+    /// speedup/efficiency scalars, and a "_study" entry with the
+    /// engine's own wall-clock and job count.
+    void emit(MetricsSink& sink) const;
+};
+
+/** Engine knobs. */
+struct StudyOptions {
+    /// Worker threads; 0 = one per hardware thread.
+    int jobs = 1;
+    /// Print one line per completed run to stderr.
+    bool progress = false;
+};
+
+/**
+ * Executes StudyPlans on a fixed-size worker pool. The baseline cache
+ * persists across run() calls, so successive plans (e.g. an original
+ * and a restructured sweep) share baselines. StudyRunner itself is not
+ * re-entrant: call run() from one thread at a time.
+ */
+class StudyRunner
+{
+  public:
+    explicit StudyRunner(StudyOptions opt = {});
+
+    /// Run every spec; never throws for per-run failures (see
+    /// RunOutcome::error).
+    StudyResult run(const StudyPlan& plan);
+
+    SeqBaselineCache& baselineCache() { return cache_; }
+
+  private:
+    StudyOptions opt_;
+    SeqBaselineCache cache_;
+};
+
+} // namespace ccnuma::core
+
+#endif // CCNUMA_CORE_STUDY_RUNNER_HH

@@ -38,4 +38,30 @@ MachineConfig::validate() const
     return err.str();
 }
 
+MachineConfig
+MachineConfig::origin2000(int numProcs)
+{
+    MachineConfig cfg;
+    cfg.numProcs = numProcs;
+    return cfg;
+}
+
+MachineConfig
+MachineConfig::uniprocessor()
+{
+    return origin2000(1).baseline();
+}
+
+MachineConfig
+MachineConfig::baseline() const
+{
+    MachineConfig seq = *this;
+    seq.numProcs = 1;
+    seq.oneProcPerNode = false;
+    // The baseline is only timed; don't trace it (tracing never changes
+    // timing, this just avoids pointless capture cost).
+    seq.trace = {};
+    return seq;
+}
+
 } // namespace ccnuma::sim

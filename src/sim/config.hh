@@ -203,6 +203,18 @@ struct MachineConfig {
 
     /// Validate invariants; returns an error string or empty on success.
     std::string validate() const;
+
+    // ---- Named presets ----
+    /// The paper's machine: an Origin2000 with `numProcs` processors
+    /// (two per node, Table 1 latencies — i.e. the defaults above).
+    static MachineConfig origin2000(int numProcs);
+    /// A one-processor Origin2000 node: the speedup-baseline machine.
+    static MachineConfig uniprocessor();
+    /// The uniprocessor baseline for *this* machine: same parameters,
+    /// one processor, no tracing (the baseline is only timed). This is
+    /// the paper's methodology — the sequential reference runs on
+    /// identical hardware, so speedups isolate parallel behavior.
+    MachineConfig baseline() const;
 };
 
 } // namespace ccnuma::sim

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "apps/registry.hh"
 #include "core/study.hh"
 
@@ -75,6 +77,48 @@ allVariants()
 
 } // namespace
 
+TEST(Registry, ListAppsCoversEveryVariant)
+{
+    const auto& listed = apps::listApps();
+    for (const std::string& name : allVariants())
+        EXPECT_NE(std::find(listed.begin(), listed.end(), name),
+                  listed.end())
+            << name;
+    for (const std::string& name : apps::originalApps())
+        EXPECT_NE(std::find(listed.begin(), listed.end(), name),
+                  listed.end())
+            << name;
+}
+
+TEST(Registry, TryMakeAppBuildsEveryListedName)
+{
+    for (const std::string& name : apps::listApps()) {
+        const apps::AppPtr app =
+            apps::tryMakeApp(name, testSize(name));
+        EXPECT_NE(app, nullptr) << name;
+    }
+}
+
+TEST(Registry, TryMakeAppReturnsNullForUnknownNames)
+{
+    EXPECT_EQ(apps::tryMakeApp("no-such-app"), nullptr);
+    EXPECT_EQ(apps::tryMakeApp(""), nullptr);
+    EXPECT_EQ(apps::tryMakeApp("fft-bogus"), nullptr);
+}
+
+TEST(Registry, MakeAppErrorListsValidNames)
+{
+    try {
+        apps::makeApp("no-such-app");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("no-such-app"), std::string::npos);
+        EXPECT_NE(msg.find("fft"), std::string::npos);
+        EXPECT_NE(msg.find("water-spatial"), std::string::npos);
+    }
+}
+
 class AppRuns : public ::testing::TestWithParam<std::string>
 {
 };
@@ -93,8 +137,7 @@ TEST_P(AppRuns, CompletesOnEightProcs)
 
 TEST_P(AppRuns, CompletesOnOneProc)
 {
-    sim::MachineConfig cfg;
-    cfg.numProcs = 1;
+    const sim::MachineConfig cfg = sim::MachineConfig::uniprocessor();
     auto app = apps::makeApp(GetParam(), testSize(GetParam()));
     const sim::RunResult r = core::runApp(cfg, *app);
     EXPECT_GT(r.procs[0].t.busy, 0u);
@@ -125,9 +168,7 @@ TEST(AppBehaviour, SpeedupIsReasonableAtEightProcs)
 {
     // Compute-dominated apps should get decent speedups at small P.
     for (const char* name : {"water-nsq", "barnes", "raytrace"}) {
-        std::map<std::string, sim::Cycles> cache;
-        sim::MachineConfig cfg;
-        cfg.numProcs = 8;
+        const sim::MachineConfig cfg = sim::MachineConfig::origin2000(8);
         const auto mres = core::measure(
             cfg, [&] { return apps::makeApp(name, testSize(name)); });
         EXPECT_GT(mres.speedup(), 4.0) << name;

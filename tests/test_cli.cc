@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the shared command-line helper (core::cli) used by the
+ * example and bench drivers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "core/cli.hh"
+
+using namespace ccnuma;
+
+namespace {
+
+core::cli::Options
+parseArgs(std::vector<const char*> args)
+{
+    args.insert(args.begin(), "prog");
+    return core::cli::parse(static_cast<int>(args.size()),
+                            const_cast<char**>(args.data()));
+}
+
+/// Scoped unset of the env vars cli::parse consults.
+struct CleanEnv {
+    CleanEnv()
+    {
+        unsetenv("CCNUMA_TRACE");
+        unsetenv("CCNUMA_JSON");
+        unsetenv("CCNUMA_JOBS");
+    }
+};
+
+} // namespace
+
+TEST(Cli, DefaultsAreEmpty)
+{
+    CleanEnv env;
+    const auto opt = parseArgs({});
+    EXPECT_TRUE(opt.traceFile.empty());
+    EXPECT_TRUE(opt.jsonFile.empty());
+    EXPECT_EQ(opt.jobs, 1);
+    EXPECT_TRUE(opt.positional.empty());
+    EXPECT_TRUE(opt.unknown.empty());
+}
+
+TEST(Cli, ParsesFlagsAndPositionals)
+{
+    CleanEnv env;
+    const auto opt = parseArgs({"barnes", "--trace=t.json", "16384",
+                                "--jobs=4", "--json=m.json"});
+    EXPECT_EQ(opt.traceFile, "t.json");
+    EXPECT_EQ(opt.jsonFile, "m.json");
+    EXPECT_EQ(opt.jobs, 4);
+    ASSERT_EQ(opt.positional.size(), 2u);
+    EXPECT_EQ(opt.positionalOr(0, std::string("x")), "barnes");
+    EXPECT_EQ(opt.positionalOr(1, std::uint64_t{0}), 16384u);
+    EXPECT_EQ(opt.positionalOr(2, std::string("dflt")), "dflt");
+    EXPECT_EQ(opt.positionalOr(9, std::uint64_t{7}), 7u);
+}
+
+TEST(Cli, CollectsUnknownFlags)
+{
+    CleanEnv env;
+    const auto opt = parseArgs({"--frobnicate", "--jobs=2", "app"});
+    ASSERT_EQ(opt.unknown.size(), 1u);
+    EXPECT_EQ(opt.unknown[0], "--frobnicate");
+    EXPECT_FALSE(core::cli::warnUnknown(opt));
+    EXPECT_TRUE(core::cli::warnUnknown(parseArgs({"app"})));
+}
+
+TEST(Cli, EnvFallbacksAndFlagPrecedence)
+{
+    CleanEnv env;
+    setenv("CCNUMA_TRACE", "env-trace.json", 1);
+    setenv("CCNUMA_JSON", "env-metrics.json", 1);
+    setenv("CCNUMA_JOBS", "8", 1);
+    const auto from_env = parseArgs({});
+    EXPECT_EQ(from_env.traceFile, "env-trace.json");
+    EXPECT_EQ(from_env.jsonFile, "env-metrics.json");
+    EXPECT_EQ(from_env.jobs, 8);
+
+    const auto overridden = parseArgs({"--jobs=2", "--trace=cli.json"});
+    EXPECT_EQ(overridden.jobs, 2) << "flag beats env";
+    EXPECT_EQ(overridden.traceFile, "cli.json");
+    EXPECT_EQ(overridden.jsonFile, "env-metrics.json");
+    unsetenv("CCNUMA_TRACE");
+    unsetenv("CCNUMA_JSON");
+    unsetenv("CCNUMA_JOBS");
+}
+
+TEST(Cli, JobsZeroMeansAutoDetect)
+{
+    CleanEnv env;
+    // 0 is passed through; the StudyRunner resolves it to the host's
+    // hardware concurrency.
+    EXPECT_EQ(parseArgs({"--jobs=0"}).jobs, 0);
+}

@@ -14,9 +14,8 @@ using namespace ccnuma;
 
 TEST(Study, MeasureUsesSeqCache)
 {
-    std::map<std::string, sim::Cycles> cache;
-    sim::MachineConfig cfg;
-    cfg.numProcs = 4;
+    core::SeqBaselineCache cache;
+    const sim::MachineConfig cfg = sim::MachineConfig::origin2000(4);
     int calls = 0;
     const auto factory = [&] {
         ++calls;
@@ -28,6 +27,53 @@ TEST(Study, MeasureUsesSeqCache)
     EXPECT_EQ(calls, 3) << "cached seq: only the parallel app built";
     EXPECT_EQ(m1.seqTime, m2.seqTime);
     EXPECT_EQ(m1.parTime, m2.parTime);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.lookup("k"), m1.seqTime);
+}
+
+TEST(Study, DeprecatedRawMapShimStillWorks)
+{
+    // The pre-StudyRunner signature stays for one release; it must
+    // keep filling the caller's map.
+    std::map<std::string, sim::Cycles> cache;
+    const sim::MachineConfig cfg = sim::MachineConfig::origin2000(2);
+    int calls = 0;
+    const auto factory = [&] {
+        ++calls;
+        return apps::makeApp("fft", 1 << 10);
+    };
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    const auto m1 = core::measure(cfg, factory, &cache, "k");
+    EXPECT_EQ(calls, 2);
+    ASSERT_EQ(cache.count("k"), 1u);
+    EXPECT_EQ(cache["k"], m1.seqTime);
+    const auto m2 = core::measure(cfg, factory, &cache, "k");
+#pragma GCC diagnostic pop
+    EXPECT_EQ(calls, 3) << "map entry honoured";
+    EXPECT_EQ(m1.seqTime, m2.seqTime);
+}
+
+TEST(Study, MachineConfigPresets)
+{
+    const sim::MachineConfig o128 = sim::MachineConfig::origin2000(128);
+    EXPECT_EQ(o128.numProcs, 128);
+    EXPECT_TRUE(o128.validate().empty());
+
+    const sim::MachineConfig uni = sim::MachineConfig::uniprocessor();
+    EXPECT_EQ(uni.numProcs, 1);
+    EXPECT_FALSE(uni.oneProcPerNode);
+    EXPECT_FALSE(uni.trace.any());
+    EXPECT_TRUE(uni.validate().empty());
+
+    sim::MachineConfig traced = o128;
+    traced.trace.events = true;
+    traced.oneProcPerNode = true;
+    const sim::MachineConfig base = traced.baseline();
+    EXPECT_EQ(base.numProcs, 1);
+    EXPECT_FALSE(base.oneProcPerNode);
+    EXPECT_FALSE(base.trace.any());
+    EXPECT_EQ(base.cacheBytes, traced.cacheBytes);
 }
 
 TEST(Study, EfficiencyMath)

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the parallel study engine: cycle-identity with the serial
+ * path, single-flight baseline dedup, exception isolation, ordered
+ * aggregation, and the SeqBaselineCache itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <thread>
+
+#include "apps/registry.hh"
+#include "core/metrics.hh"
+#include "core/study_runner.hh"
+
+using namespace ccnuma;
+
+namespace {
+
+void
+expectSameStats(const sim::RunResult& a, const sim::RunResult& b)
+{
+    ASSERT_EQ(a.time, b.time);
+    ASSERT_EQ(a.procs.size(), b.procs.size());
+    ASSERT_EQ(a.pageMigrations, b.pageMigrations);
+    for (std::size_t p = 0; p < a.procs.size(); ++p) {
+        const sim::ProcStats& x = a.procs[p];
+        const sim::ProcStats& y = b.procs[p];
+        EXPECT_EQ(x.t.busy, y.t.busy) << p;
+        EXPECT_EQ(x.t.memStall, y.t.memStall) << p;
+        EXPECT_EQ(x.t.syncWait, y.t.syncWait) << p;
+        EXPECT_EQ(x.t.syncOp, y.t.syncOp) << p;
+        EXPECT_EQ(x.c.loads, y.c.loads) << p;
+        EXPECT_EQ(x.c.stores, y.c.stores) << p;
+        EXPECT_EQ(x.c.l2Hits, y.c.l2Hits) << p;
+        EXPECT_EQ(x.c.missLocal, y.c.missLocal) << p;
+        EXPECT_EQ(x.c.missRemoteClean, y.c.missRemoteClean) << p;
+        EXPECT_EQ(x.c.missRemoteDirty, y.c.missRemoteDirty) << p;
+        EXPECT_EQ(x.c.upgrades, y.c.upgrades) << p;
+        EXPECT_EQ(x.c.invalsSent, y.c.invalsSent) << p;
+        EXPECT_EQ(x.c.writebacks, y.c.writebacks) << p;
+        EXPECT_EQ(x.c.lockAcquires, y.c.lockAcquires) << p;
+        EXPECT_EQ(x.c.barriersPassed, y.c.barriersPassed) << p;
+    }
+}
+
+/// A small mixed grid: two apps x two machine sizes, shared baselines.
+core::StudyPlan
+smallGrid()
+{
+    core::StudyPlan plan;
+    for (const char* name : {"fft", "ocean"}) {
+        for (const int P : {2, 4}) {
+            const std::uint64_t size = name[0] == 'f' ? 1 << 12 : 66;
+            plan.add(std::string(name) + " P=" + std::to_string(P),
+                     sim::MachineConfig::origin2000(P),
+                     [name, size] { return apps::makeApp(name, size); },
+                     name);
+        }
+    }
+    return plan;
+}
+
+} // namespace
+
+TEST(StudyRunner, CycleIdenticalToSerialMeasure)
+{
+    const core::StudyPlan plan = smallGrid();
+
+    // Serial reference: plain measure() calls, fresh cache.
+    std::vector<core::Measurement> serial;
+    core::SeqBaselineCache serial_cache;
+    for (const core::RunSpec& s : plan.specs())
+        serial.push_back(core::measure(s.cfg, s.factory, &serial_cache,
+                                       s.seqKey));
+
+    core::StudyRunner runner({.jobs = 4});
+    const core::StudyResult res = runner.run(plan);
+    ASSERT_EQ(res.runs.size(), plan.size());
+    EXPECT_EQ(res.failures(), 0u);
+    EXPECT_EQ(res.jobs, 4);
+
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        SCOPED_TRACE(res.runs[i].name);
+        ASSERT_TRUE(res.runs[i].ok) << res.runs[i].error;
+        EXPECT_EQ(res.runs[i].name, plan.specs()[i].name)
+            << "submission-ordered aggregation";
+        EXPECT_EQ(res.runs[i].m.seqTime, serial[i].seqTime);
+        EXPECT_EQ(res.runs[i].m.parTime, serial[i].parTime);
+        EXPECT_EQ(res.runs[i].m.nprocs, serial[i].nprocs);
+        expectSameStats(res.runs[i].m.par, serial[i].par);
+    }
+}
+
+TEST(StudyRunner, SingleFlightBaselineDedup)
+{
+    // Four specs share one seq_key: the uniprocessor baseline must be
+    // simulated exactly once even with four concurrent workers, so the
+    // factory runs 4 (parallel) + 1 (baseline) times.
+    std::atomic<int> factories{0};
+    core::StudyPlan plan;
+    for (const int P : {2, 2, 4, 4})
+        plan.add("fft P=" + std::to_string(P),
+                 sim::MachineConfig::origin2000(P),
+                 [&factories] {
+                     factories.fetch_add(1);
+                     return apps::makeApp("fft", 1 << 12);
+                 },
+                 "shared");
+
+    core::StudyRunner runner({.jobs = 4});
+    const core::StudyResult res = runner.run(plan);
+    EXPECT_EQ(res.failures(), 0u);
+    EXPECT_EQ(factories.load(), 5)
+        << "baseline deduplicated in flight";
+    EXPECT_EQ(runner.baselineCache().size(), 1u);
+    EXPECT_EQ(runner.baselineCache().hits(), 3u);
+    // All four cells report the identical shared baseline.
+    for (const core::RunOutcome& r : res.runs)
+        EXPECT_EQ(r.m.seqTime, res.runs[0].m.seqTime);
+}
+
+TEST(StudyRunner, ExceptionIsolation)
+{
+    core::StudyPlan plan;
+    plan.add("good-before", sim::MachineConfig::origin2000(2),
+             [] { return apps::makeApp("fft", 1 << 10); }, "fft");
+    plan.add("bad", sim::MachineConfig::origin2000(2),
+             []() -> apps::AppPtr {
+                 throw std::runtime_error("boom: bad config cell");
+             });
+    // An unknown app name fails through makeApp's own throw.
+    plan.add("bad-name", sim::MachineConfig::origin2000(2),
+             [] { return apps::makeApp("no-such-app"); });
+    plan.add("good-after", sim::MachineConfig::origin2000(4),
+             [] { return apps::makeApp("fft", 1 << 10); }, "fft");
+
+    core::StudyRunner runner({.jobs = 2});
+    const core::StudyResult res = runner.run(plan);
+    ASSERT_EQ(res.runs.size(), 4u);
+    EXPECT_EQ(res.failures(), 2u);
+    EXPECT_TRUE(res.runs[0].ok);
+    EXPECT_FALSE(res.runs[1].ok);
+    EXPECT_NE(res.runs[1].error.find("boom"), std::string::npos);
+    EXPECT_FALSE(res.runs[2].ok);
+    EXPECT_NE(res.runs[2].error.find("no-such-app"),
+              std::string::npos);
+    EXPECT_TRUE(res.runs[3].ok);
+    // The failing cells didn't poison the shared baseline.
+    EXPECT_EQ(res.runs[0].m.seqTime, res.runs[3].m.seqTime);
+    EXPECT_NE(res.find("good-after"), nullptr);
+    EXPECT_EQ(res.find("nope"), nullptr);
+}
+
+TEST(StudyRunner, ParallelOnlySkipsBaseline)
+{
+    core::StudyPlan plan;
+    plan.addParallelOnly("fft", sim::MachineConfig::origin2000(4),
+                         [] { return apps::makeApp("fft", 1 << 12); });
+    core::StudyRunner runner;
+    const core::StudyResult res = runner.run(plan);
+    ASSERT_EQ(res.failures(), 0u);
+    EXPECT_EQ(res.runs[0].m.seqTime, 0u);
+    EXPECT_GT(res.runs[0].m.parTime, 0u);
+    EXPECT_EQ(runner.baselineCache().size(), 0u);
+}
+
+TEST(StudyRunner, EmitsFullGridToMetricsSink)
+{
+    core::StudyRunner runner({.jobs = 2});
+    const core::StudyResult res = runner.run(smallGrid());
+    const std::string path =
+        ::testing::TempDir() + "/study_grid.json";
+    core::MetricsSink sink(path);
+    res.emit(sink);
+    ASSERT_TRUE(sink.write());
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good());
+    const std::string doc((std::istreambuf_iterator<char>(f)),
+                          std::istreambuf_iterator<char>());
+    EXPECT_NE(doc.find("\"fft P=2\""), std::string::npos);
+    EXPECT_NE(doc.find("\"speedup\""), std::string::npos);
+    EXPECT_NE(doc.find("\"_study\""), std::string::npos);
+    EXPECT_NE(doc.find("\"wallSeconds\""), std::string::npos);
+}
+
+TEST(SeqBaselineCache, SingleFlightUnderContention)
+{
+    core::SeqBaselineCache cache;
+    std::atomic<int> computes{0};
+    const auto slow_compute = [&]() -> sim::Cycles {
+        computes.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return 42;
+    };
+    std::vector<std::thread> threads;
+    std::vector<sim::Cycles> got(8, 0);
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&, t] {
+            got[t] = cache.getOrCompute("key", slow_compute);
+        });
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(computes.load(), 1) << "one leader, everyone else waits";
+    for (const sim::Cycles v : got)
+        EXPECT_EQ(v, 42u);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.hits(), 7u);
+}
+
+TEST(SeqBaselineCache, FailedLeaderPromotesWaiter)
+{
+    core::SeqBaselineCache cache;
+    std::atomic<int> attempts{0};
+    std::vector<std::thread> threads;
+    std::atomic<int> successes{0};
+    std::atomic<int> failures{0};
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&] {
+            try {
+                // First attempt throws; retries succeed.
+                const sim::Cycles v =
+                    cache.getOrCompute("key", [&]() -> sim::Cycles {
+                        if (attempts.fetch_add(1) == 0) {
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(10));
+                            throw std::runtime_error("flaky");
+                        }
+                        return 7;
+                    });
+                EXPECT_EQ(v, 7u);
+                successes.fetch_add(1);
+            } catch (const std::runtime_error&) {
+                failures.fetch_add(1);
+            }
+        });
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 1)
+        << "only the failing leader sees the exception";
+    EXPECT_EQ(successes.load(), 3);
+    EXPECT_EQ(cache.lookup("key"), 7u);
+}
+
+TEST(SeqBaselineCache, EmptyKeyBypassesCache)
+{
+    core::SeqBaselineCache cache;
+    int computes = 0;
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(cache.getOrCompute("",
+                                     [&]() -> sim::Cycles {
+                                         ++computes;
+                                         return 9;
+                                     }),
+                  9u);
+    EXPECT_EQ(computes, 3);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SeqBaselineCache, InsertPreSeedsValues)
+{
+    core::SeqBaselineCache cache;
+    cache.insert("warm", 123);
+    EXPECT_EQ(cache.getOrCompute("warm",
+                                 []() -> sim::Cycles {
+                                     ADD_FAILURE()
+                                         << "must not recompute";
+                                     return 0;
+                                 }),
+              123u);
+    EXPECT_EQ(cache.lookup("cold"), std::nullopt);
+}
