@@ -10,13 +10,19 @@
  */
 
 #include "bench/common.hh"
+#include "core/cli.hh"
 
 using namespace ccnuma;
 using bench::measureApp;
 
 int
-main()
+main(int argc, char** argv)
 {
+    // --seed / CCNUMA_SEED picks the permutation for the random and
+    // paired-random mapping cases, so runs are reproducible.
+    const core::cli::Options opt = core::cli::parse(argc, argv);
+    core::cli::warnUnknown(opt);
+
     core::printHeader("Section 7.1: process-to-topology mapping");
 
     // Barnes: linear vs random mapping.
@@ -27,6 +33,7 @@ main()
         lin.mapping = sim::Mapping::Linear;
         sim::MachineConfig rnd;
         rnd.mapping = sim::Mapping::Random;
+        rnd.mappingSeed = opt.seed;
         const auto a = measureApp("barnes", 16384, P, cache, lin,
                                   "barnes");
         const auto b = measureApp("barnes", 16384, P, cache, rnd,
@@ -45,8 +52,10 @@ main()
         lin.mapping = sim::Mapping::Linear;
         sim::MachineConfig prnd;
         prnd.mapping = sim::Mapping::PairedRandom;
+        prnd.mappingSeed = opt.seed;
         sim::MachineConfig rnd;
         rnd.mapping = sim::Mapping::Random;
+        rnd.mappingSeed = opt.seed;
         const auto a = measureApp("ocean", 2050, P, cache, lin,
                                   "ocean");
         const auto b = measureApp("ocean", 2050, P, cache, prnd,
@@ -68,6 +77,7 @@ main()
                  {sim::Mapping::Linear, sim::Mapping::Random}) {
                 sim::MachineConfig cfg;
                 cfg.mapping = mapping;
+                cfg.mappingSeed = opt.seed;
                 const auto mres =
                     measureApp(app, 1u << 20, 128, cache, cfg, "fft");
                 std::printf("  %-14s %-7s speedup %.1f\n", app,

@@ -5,14 +5,15 @@
  * change an application's performance? Exercises the simulator's
  * machine-configuration surface end to end.
  *
- * Usage: machine_explorer [app] [size] [procs]
+ * Usage: machine_explorer [app] [size] [procs] [--seed=N]
+ *   --seed (or CCNUMA_SEED) controls the random topology-mapping case.
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "apps/registry.hh"
+#include "core/cli.hh"
 #include "core/report.hh"
 #include "core/study.hh"
 
@@ -40,10 +41,12 @@ runCase(const char* label, const sim::MachineConfig& cfg,
 int
 main(int argc, char** argv)
 try {
-    const std::string app = argc > 1 ? argv[1] : "ocean";
-    const std::uint64_t size =
-        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0;
-    const int procs = argc > 3 ? std::atoi(argv[3]) : 64;
+    const core::cli::Options opt = core::cli::parse(argc, argv);
+    core::cli::warnUnknown(opt);
+    const std::string app = opt.positionalOr(0, "ocean");
+    const std::uint64_t size = opt.positionalOr(1, std::uint64_t{0});
+    const int procs = static_cast<int>(
+        opt.positionalOr(2, std::uint64_t{64}));
 
     core::printHeader("machine explorer: " + app + " on " +
                       std::to_string(procs) + " procs");
@@ -70,6 +73,7 @@ try {
 
     sim::MachineConfig rnd = base;
     rnd.mapping = sim::Mapping::Random;
+    rnd.mappingSeed = opt.seed;
     runCase("random topology mapping", rnd, app, size, cache);
 
     sim::MachineConfig small_cache = base;

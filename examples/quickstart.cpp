@@ -32,6 +32,7 @@ main(int argc, char** argv)
     sim::MachineConfig cfg = sim::MachineConfig::origin2000(64);
     const core::cli::Options opt = core::cli::parse(argc, argv);
     core::cli::warnUnknown(opt);
+    cfg.mappingSeed = opt.seed; // --seed / CCNUMA_SEED
     const std::string trace_file = opt.traceFile;
     if (!trace_file.empty()) {
         cfg.trace.events = true;

@@ -4,7 +4,7 @@
  * paper's core question, for any application in the registry.
  *
  * Usage: scaling_study [app] [size] [--jobs=N] [--trace=FILE]
- *                      [--json=FILE]
+ *                      [--json=FILE] [--seed=N]
  *   e.g. scaling_study barnes 16384
  *        scaling_study water-spatial 32768 --jobs=4
  *
@@ -52,6 +52,9 @@ try {
     core::StudyPlan plan;
     for (const int P : sizes) {
         sim::MachineConfig cfg = sim::MachineConfig::origin2000(P);
+        // --seed / CCNUMA_SEED steers every randomized machine policy
+        // (only the topology-mapping permutation today).
+        cfg.mappingSeed = opt.seed;
         if (!opt.traceFile.empty() && P == sizes.back()) {
             // Trace the largest machine: that run is the one whose
             // scaling loss needs explaining.

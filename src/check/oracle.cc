@@ -1,0 +1,188 @@
+#include "check/oracle.hh"
+
+#include <sstream>
+
+namespace ccnuma::check {
+
+ScOracle::ScOracle(const sim::MemSys& mem)
+    : mem_(mem),
+      cadence_(mem.config().check.validateEvery),
+      cached_(mem.config().numProcs)
+{
+}
+
+std::string
+ScOracle::lineStr(sim::LineAddr line)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << line;
+    return os.str();
+}
+
+void
+ScOracle::record(std::string what, sim::ProcId p, sim::LineAddr line)
+{
+    if (violations_.size() >= kMaxViolations)
+        return;
+    violations_.push_back(
+        Violation{std::move(what), commit_, p, line});
+}
+
+void
+ScOracle::maybeValidate()
+{
+    if (cadence_ == 0 || commit_ % cadence_ != 0)
+        return;
+    ++validations_;
+    const std::string err = mem_.validateCoherence();
+    if (!err.empty())
+        record("validateCoherence: " + err, sim::kNoProc, 0);
+}
+
+void
+ScOracle::onLoad(sim::ProcId p, sim::LineAddr line, sim::DataSource src,
+                 sim::ProcId supplier)
+{
+    ++commit_;
+    Version observed = 0;
+    bool have = true;
+    switch (src) {
+    case sim::DataSource::CacheHit: {
+        const auto it = cached_[p].find(line);
+        if (it == cached_[p].end()) {
+            record("proc " + std::to_string(p) + " hit line " +
+                       lineStr(line) +
+                       " that the protocol never installed "
+                       "(shadow-cache desync)",
+                   p, line);
+            have = false;
+        } else {
+            observed = it->second;
+        }
+        break;
+    }
+    case sim::DataSource::Memory: {
+        const auto it = memImage_.find(line);
+        observed = it == memImage_.end() ? 0 : it->second;
+        cached_[p][line] = observed;
+        break;
+    }
+    case sim::DataSource::Owner: {
+        const auto it = supplier >= 0 &&
+                                static_cast<std::size_t>(supplier) <
+                                    cached_.size()
+                            ? cached_[supplier].find(line)
+                            : cached_[p].end();
+        if (supplier < 0 ||
+            static_cast<std::size_t>(supplier) >= cached_.size() ||
+            it == cached_[supplier].end()) {
+            record("proc " + std::to_string(p) + " filled line " +
+                       lineStr(line) + " from owner " +
+                       std::to_string(supplier) +
+                       " that holds no copy (shadow-cache desync)",
+                   p, line);
+            have = false;
+        } else {
+            observed = it->second;
+            cached_[p][line] = observed;
+        }
+        break;
+    }
+    }
+    if (have) {
+        ++loadsChecked_;
+        const auto g = golden_.find(line);
+        const Written expect =
+            g == golden_.end() ? Written{} : g->second;
+        if (observed != expect.version) {
+            std::ostringstream os;
+            os << "SC violation: proc " << p << " load of line "
+               << lineStr(line) << " observed stale value v" << observed
+               << " (source "
+               << (src == sim::DataSource::CacheHit ? "cache hit"
+                   : src == sim::DataSource::Memory ? "memory fill"
+                                                    : "owner transfer")
+               << "); golden memory holds v" << expect.version;
+            if (expect.writer != sim::kNoProc)
+                os << " written by proc " << expect.writer
+                   << " at commit " << expect.commit;
+            record(os.str(), p, line);
+        }
+    }
+    maybeValidate();
+}
+
+void
+ScOracle::onStore(sim::ProcId p, sim::LineAddr line)
+{
+    ++commit_;
+    // Single-writer invariant: a store commits only after every other
+    // copy has been invalidated. A skipped invalidation fails here at
+    // the very store that should have killed the stale copy.
+    for (std::size_t q = 0; q < cached_.size(); ++q) {
+        if (static_cast<sim::ProcId>(q) == p)
+            continue;
+        if (cached_[q].count(line)) {
+            record("single-writer violation: store by proc " +
+                       std::to_string(p) + " to line " + lineStr(line) +
+                       " committed while proc " + std::to_string(q) +
+                       " still holds a copy (missed invalidation)",
+                   p, line);
+        }
+    }
+    const Version v = ++nextVersion_;
+    golden_[line] = Written{v, p, commit_};
+    cached_[p][line] = v;
+    maybeValidate();
+}
+
+void
+ScOracle::onInval(sim::ProcId p, sim::LineAddr line)
+{
+    if (cached_[p].erase(line) == 0)
+        record("protocol invalidated line " + lineStr(line) +
+                   " at proc " + std::to_string(p) +
+                   " which holds no copy (shadow-cache desync)",
+               p, line);
+}
+
+void
+ScOracle::onDowngrade(sim::ProcId owner, sim::LineAddr line)
+{
+    const auto it = cached_[owner].find(line);
+    if (it == cached_[owner].end()) {
+        record("protocol downgraded line " + lineStr(line) +
+                   " at proc " + std::to_string(owner) +
+                   " which holds no copy (shadow-cache desync)",
+               owner, line);
+        return;
+    }
+    memImage_[line] = it->second; // dirty data written back to home
+}
+
+void
+ScOracle::onWriteback(sim::ProcId p, sim::LineAddr line)
+{
+    const auto it = cached_[p].find(line);
+    if (it == cached_[p].end()) {
+        record("writeback of line " + lineStr(line) + " from proc " +
+                   std::to_string(p) +
+                   " which holds no copy (shadow-cache desync)",
+               p, line);
+        return;
+    }
+    memImage_[line] = it->second;
+    cached_[p].erase(it);
+}
+
+void
+ScOracle::onEvict(sim::ProcId p, sim::LineAddr line)
+{
+    if (cached_[p].erase(line) == 0)
+        record("clean eviction of line " + lineStr(line) +
+                   " from proc " + std::to_string(p) +
+                   " which holds no copy (shadow-cache desync)",
+               p, line);
+}
+
+} // namespace ccnuma::check

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Sequential-consistency data-value oracle for the MESI directory
+ * protocol.
+ *
+ * The simulator carries no data (applications only issue addresses),
+ * so the oracle supplies the data model: every store commit mints a
+ * fresh version number, and the oracle mirrors how a real machine
+ * would move that value around — per-processor shadow cache-line
+ * images, a shadow main memory fed by writebacks and downgrades, and
+ * a golden flat memory updated at each store in the scheduler's global
+ * commit order (see sim/commit.hh for why transaction processing order
+ * is the commit order).
+ *
+ * Checks, per commit:
+ *  - every load's observed value (own copy on a hit, home memory or
+ *    the dirty owner's copy on a fill) equals the golden memory's
+ *    latest committed value — a stale hit after a skipped invalidation
+ *    fails here;
+ *  - every store commits while no other processor shadow-caches the
+ *    line (single-writer invariant);
+ *  - the shadow images never desynchronize from the real cache/
+ *    directory state (a hit on a line the protocol never installed,
+ *    an invalidation of an absent copy, ... all indicate a protocol
+ *    bug);
+ *  - every `MachineConfig::check.validateEvery` commits, the full
+ *    MemSys::validateCoherence() structural sweep.
+ *
+ * Violations are recorded (first kMaxViolations), never thrown: a
+ * broken run still executes deterministically to completion, which is
+ * what makes failing seeds replay bit-identically.
+ */
+
+#ifndef CCNUMA_CHECK_ORACLE_HH
+#define CCNUMA_CHECK_ORACLE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/commit.hh"
+#include "sim/memsys.hh"
+
+namespace ccnuma::check {
+
+/** One detected violation, anchored to a commit index. */
+struct Violation {
+    std::string what;       ///< Human-readable description.
+    std::uint64_t commit = 0; ///< 1-based load/store commit index.
+    sim::ProcId proc = sim::kNoProc;
+    sim::LineAddr line = 0;
+};
+
+/** The oracle; attach to a MemSys before Machine::run(). */
+class ScOracle final : public sim::CommitObserver
+{
+  public:
+    /// Reads the validation cadence from mem.config().check.
+    explicit ScOracle(const sim::MemSys& mem);
+
+    // ---- sim::CommitObserver ----
+    void onLoad(sim::ProcId p, sim::LineAddr line, sim::DataSource src,
+                sim::ProcId supplier) override;
+    void onStore(sim::ProcId p, sim::LineAddr line) override;
+    void onInval(sim::ProcId p, sim::LineAddr line) override;
+    void onDowngrade(sim::ProcId owner, sim::LineAddr line) override;
+    void onWriteback(sim::ProcId p, sim::LineAddr line) override;
+    void onEvict(sim::ProcId p, sim::LineAddr line) override;
+
+    // ---- results ----
+    bool failed() const { return !violations_.empty(); }
+    const std::vector<Violation>& violations() const
+    {
+        return violations_;
+    }
+    /// Total load+store commits observed.
+    std::uint64_t commits() const { return commit_; }
+    /// Loads whose observed value was checked against the golden memory.
+    std::uint64_t loadsChecked() const { return loadsChecked_; }
+    /// Cadence validateCoherence() sweeps run.
+    std::uint64_t validations() const { return validations_; }
+
+    /// Cap on recorded violations (the first is the witness).
+    static constexpr std::size_t kMaxViolations = 16;
+
+  private:
+    /// A version number: 0 = the line's initial (memory-zero) value.
+    using Version = std::uint64_t;
+    struct Written {
+        Version version = 0;
+        sim::ProcId writer = sim::kNoProc;
+        std::uint64_t commit = 0;
+    };
+
+    void record(std::string what, sim::ProcId p, sim::LineAddr line);
+    void maybeValidate();
+    static std::string lineStr(sim::LineAddr line);
+
+    const sim::MemSys& mem_;
+    std::uint64_t cadence_ = 0;
+
+    std::uint64_t commit_ = 0;
+    std::uint64_t loadsChecked_ = 0;
+    std::uint64_t validations_ = 0;
+    Version nextVersion_ = 0;
+
+    std::unordered_map<sim::LineAddr, Written> golden_; ///< SC memory.
+    std::unordered_map<sim::LineAddr, Version> memImage_;
+    /// Per-proc shadow cache images: line -> version held.
+    std::vector<std::unordered_map<sim::LineAddr, Version>> cached_;
+
+    std::vector<Violation> violations_;
+};
+
+} // namespace ccnuma::check
+
+#endif // CCNUMA_CHECK_ORACLE_HH

@@ -1,0 +1,134 @@
+#include "check/shrink.hh"
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace ccnuma::check {
+
+namespace {
+
+/// One atomically-removable unit: the (proc, op index) sites it owns.
+struct Unit {
+    std::vector<std::pair<int, std::size_t>> sites;
+};
+
+/// Split a program into units, ordered by first occurrence
+/// (proc-major, then op index) so the shrink is deterministic.
+std::vector<Unit>
+buildUnits(const StressProgram& prog)
+{
+    std::vector<Unit> units;
+    std::map<std::uint64_t, std::size_t> byGroup;
+    for (int p = 0; p < prog.procs(); ++p) {
+        const auto& trace = prog.ops[static_cast<std::size_t>(p)];
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            const std::uint64_t g = trace[i].group;
+            if (g == 0) {
+                units.push_back(Unit{{{p, i}}});
+                continue;
+            }
+            const auto it = byGroup.find(g);
+            if (it == byGroup.end()) {
+                byGroup.emplace(g, units.size());
+                units.push_back(Unit{{{p, i}}});
+            } else {
+                units[it->second].sites.emplace_back(p, i);
+            }
+        }
+    }
+    return units;
+}
+
+/// Rebuild a program keeping only the selected units (original
+/// per-processor op order is preserved).
+StressProgram
+buildProgram(const StressProgram& prog, const std::vector<Unit>& units,
+             const std::vector<std::size_t>& selected)
+{
+    // keep[p][i] == true iff op i of proc p survives.
+    std::vector<std::vector<char>> keep(prog.ops.size());
+    for (std::size_t p = 0; p < prog.ops.size(); ++p)
+        keep[p].assign(prog.ops[p].size(), 0);
+    for (const std::size_t u : selected)
+        for (const auto& [p, i] : units[u].sites)
+            keep[static_cast<std::size_t>(p)][i] = 1;
+
+    StressProgram out;
+    out.numLocks = prog.numLocks;
+    out.ops.resize(prog.ops.size());
+    for (std::size_t p = 0; p < prog.ops.size(); ++p)
+        for (std::size_t i = 0; i < prog.ops[p].size(); ++i)
+            if (keep[p][i])
+                out.ops[p].push_back(prog.ops[p][i]);
+    return out;
+}
+
+} // namespace
+
+ShrinkResult
+shrink(const StressProgram& prog, const StressOptions& opt, int maxRuns)
+{
+    ShrinkResult res;
+    res.opsBefore = prog.numOps();
+    res.program = prog;
+    res.report = execute(prog, opt);
+    res.runs = 1;
+    if (!res.report.failed) {
+        res.opsAfter = res.opsBefore;
+        return res;
+    }
+
+    const std::vector<Unit> units = buildUnits(prog);
+    std::vector<std::size_t> selected(units.size());
+    for (std::size_t u = 0; u < units.size(); ++u)
+        selected[u] = u;
+
+    // ddmin: try dropping contiguous chunks of units; accept any
+    // candidate that still fails; halve the chunk size when a full
+    // sweep at this granularity removes nothing.
+    std::size_t chunk = selected.size() / 2;
+    if (chunk == 0)
+        chunk = 1;
+    while (res.runs < maxRuns) {
+        bool removedAny = false;
+        for (std::size_t at = 0;
+             at < selected.size() && res.runs < maxRuns;) {
+            if (selected.size() <= 1)
+                break;
+            std::vector<std::size_t> candidate;
+            candidate.reserve(selected.size());
+            const std::size_t end =
+                std::min(at + chunk, selected.size());
+            candidate.insert(candidate.end(), selected.begin(),
+                             selected.begin() +
+                                 static_cast<std::ptrdiff_t>(at));
+            candidate.insert(candidate.end(),
+                             selected.begin() +
+                                 static_cast<std::ptrdiff_t>(end),
+                             selected.end());
+            StressProgram candProg =
+                buildProgram(prog, units, candidate);
+            StressReport candRep = execute(candProg, opt);
+            ++res.runs;
+            if (candRep.failed) {
+                selected = std::move(candidate);
+                res.program = std::move(candProg);
+                res.report = std::move(candRep);
+                removedAny = true;
+                // Do not advance: the next chunk now sits at `at`.
+            } else {
+                at = end;
+            }
+        }
+        if (chunk == 1 && !removedAny)
+            break;
+        if (chunk > 1)
+            chunk = (chunk + 1) / 2;
+    }
+    res.opsAfter = res.program.numOps();
+    return res;
+}
+
+} // namespace ccnuma::check

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Automatic witness minimization for failing stress programs.
+ *
+ * Delta-debugging (ddmin-style) over *shrink units* rather than raw
+ * ops: an op with group 0 is its own unit, while all ops sharing a
+ * nonzero group id form one unit that is removed atomically — a
+ * barrier instance spans every processor and a lock section spans its
+ * acquire/body/release, so partial removal could deadlock the
+ * candidate program instead of reproducing the failure. Each candidate
+ * is re-executed with the same options; any run that still fails is
+ * accepted (the minimal witness may surface the same protocol bug
+ * through a different violation message).
+ *
+ * Because execution is deterministic, the shrink is too: the same
+ * failing seed always minimizes to the same witness.
+ */
+
+#ifndef CCNUMA_CHECK_SHRINK_HH
+#define CCNUMA_CHECK_SHRINK_HH
+
+#include "check/stress.hh"
+
+namespace ccnuma::check {
+
+/** Outcome of a shrink: the minimized program and its failing run. */
+struct ShrinkResult {
+    StressProgram program;  ///< Minimal still-failing program.
+    StressReport report;    ///< Its (failing) execution report.
+    std::uint64_t opsBefore = 0;
+    std::uint64_t opsAfter = 0;
+    int runs = 0;           ///< Candidate executions performed.
+};
+
+/**
+ * Minimize `prog` (which must fail under `opt`) to a small witness.
+ * `maxRuns` bounds the number of candidate executions. If `prog` does
+ * not fail, it is returned unchanged with a passing report.
+ */
+ShrinkResult shrink(const StressProgram& prog, const StressOptions& opt,
+                    int maxRuns = 600);
+
+} // namespace ccnuma::check
+
+#endif // CCNUMA_CHECK_SHRINK_HH

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * ccnuma_verify: command-line driver for the verification harness.
+ *
+ *   ccnuma_verify stress [--seed=N] [--seeds=K] [--procs=P] [--ops=N]
+ *                        [--shrink] [--mutate]
+ *       Run K consecutive randomized stress programs starting at seed
+ *       N under the SC oracle. On failure, replays the seed to confirm
+ *       bit-identical reproduction, then (with --shrink, the default
+ *       for failures) prints a minimized witness. --mutate runs with
+ *       the deliberately broken SkipInvalidation protocol and inverts
+ *       the exit logic: success means the oracle caught the break.
+ *
+ *   ccnuma_verify golden [--procs=P] [--bless] [--out=FILE|--check=FILE]
+ *       Recompute the golden-metrics snapshot for every registered
+ *       app. --check diffs against a committed baseline (default
+ *       tests/golden/metrics-v1.json); --bless rewrites it.
+ *
+ * Exit status: 0 = verified, 1 = verification failure, 2 = usage.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "check/golden.hh"
+#include "check/shrink.hh"
+#include "check/stress.hh"
+#include "core/cli.hh"
+
+namespace {
+
+using namespace ccnuma;
+
+constexpr const char* kUsage =
+    "usage: ccnuma_verify stress [--seed=N] [--seeds=K] [--procs=P]\n"
+    "                            [--ops=N] [--shrink] [--mutate]\n"
+    "       ccnuma_verify golden [--procs=P] [--bless]\n"
+    "                            [--out=FILE|--check=FILE]\n";
+
+std::string
+defaultGoldenPath()
+{
+#ifdef CCNUMA_GOLDEN_DIR
+    return std::string(CCNUMA_GOLDEN_DIR) + "/metrics-v1.json";
+#else
+    return "tests/golden/metrics-v1.json";
+#endif
+}
+
+bool
+takeU64(core::cli::Options& opt, const std::string& name,
+        std::uint64_t& out)
+{
+    std::string v;
+    if (!opt.takeFlag(name, v))
+        return true;
+    if (!core::cli::parseU64(v, out)) {
+        std::fprintf(stderr, "malformed --%s=%s\n", name.c_str(),
+                     v.c_str());
+        return false;
+    }
+    return true;
+}
+
+int
+runStressCmd(core::cli::Options& opt)
+{
+    std::uint64_t seeds = 1;
+    std::uint64_t procs = 8;
+    std::uint64_t ops = 250;
+    if (!takeU64(opt, "seeds", seeds) || !takeU64(opt, "procs", procs) ||
+        !takeU64(opt, "ops", ops))
+        return 2;
+    const bool shrinkWitness = opt.takeSwitch("shrink");
+    const bool mutate = opt.takeSwitch("mutate");
+    if (!core::cli::warnUnknown(opt))
+        return 2;
+
+    check::StressOptions base;
+    base.seed = opt.seed;
+    base.procs = static_cast<int>(procs);
+    base.opsPerProc = static_cast<int>(ops);
+    if (mutate) {
+#ifdef CCNUMA_CHECK_MUTATE
+        base.mutation = sim::CheckMutation::SkipInvalidation;
+#else
+        std::fprintf(stderr,
+                     "mutation hooks not compiled in "
+                     "(build with -DCCNUMA_CHECK_MUTATE=ON)\n");
+        return 2;
+#endif
+    }
+
+    std::uint64_t failures = 0;
+    for (std::uint64_t i = 0; i < seeds; ++i) {
+        check::StressOptions o = base;
+        o.seed = base.seed + i;
+        const check::StressReport rep = check::runStress(o);
+        std::printf("seed %llu: %llu commits, %llu loads checked, "
+                    "%llu validations, %s\n",
+                    static_cast<unsigned long long>(o.seed),
+                    static_cast<unsigned long long>(rep.commits),
+                    static_cast<unsigned long long>(rep.loadsChecked),
+                    static_cast<unsigned long long>(rep.validations),
+                    rep.failed ? "FAILED" : "ok");
+        if (!rep.failed)
+            continue;
+        ++failures;
+        std::printf("  first violation (commit %llu): %s\n",
+                    static_cast<unsigned long long>(rep.failCommit),
+                    rep.message.c_str());
+        const check::StressReport replay = check::runStress(o);
+        std::printf("  replay: %s\n",
+                    replay == rep ? "bit-identical"
+                                  : "MISMATCH (non-deterministic!)");
+        if (shrinkWitness || mutate) {
+            const check::ShrinkResult sh =
+                check::shrink(check::generate(o), o);
+            std::printf("  shrunk witness: %llu ops (from %llu, "
+                        "%d runs)\n",
+                        static_cast<unsigned long long>(sh.opsAfter),
+                        static_cast<unsigned long long>(sh.opsBefore),
+                        sh.runs);
+            std::printf("%s", check::formatWitness(sh.program).c_str());
+            std::printf("  witness failure: %s\n",
+                        sh.report.message.c_str());
+        }
+    }
+
+    if (mutate) {
+        // Self-test: a broken protocol MUST be detected.
+        if (failures == seeds) {
+            std::printf("mutation caught on %llu/%llu seed(s): the "
+                        "oracle has teeth\n",
+                        static_cast<unsigned long long>(failures),
+                        static_cast<unsigned long long>(seeds));
+            return 0;
+        }
+        std::fprintf(stderr,
+                     "mutation UNDETECTED on %llu/%llu seed(s)\n",
+                     static_cast<unsigned long long>(seeds - failures),
+                     static_cast<unsigned long long>(seeds));
+        return 1;
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+int
+runGoldenCmd(core::cli::Options& opt)
+{
+    std::uint64_t procs = 4;
+    if (!takeU64(opt, "procs", procs))
+        return 2;
+    std::string outPath;
+    std::string checkPath;
+    const bool hasOut = opt.takeFlag("out", outPath);
+    const bool hasCheck = opt.takeFlag("check", checkPath);
+    const bool bless = opt.takeSwitch("bless");
+    if (!core::cli::warnUnknown(opt))
+        return 2;
+    if (hasOut && hasCheck) {
+        std::fprintf(stderr, "--out and --check are exclusive\n");
+        return 2;
+    }
+
+    const check::GoldenSnapshot current =
+        check::computeGolden(static_cast<int>(procs));
+
+    if (bless || hasOut) {
+        const std::string path = hasOut ? outPath : defaultGoldenPath();
+        std::string err;
+        if (!check::writeGoldenFile(path, current, err)) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 1;
+        }
+        std::printf("blessed %zu app baselines -> %s\n",
+                    current.entries.size(), path.c_str());
+        return 0;
+    }
+
+    const std::string path = hasCheck ? checkPath : defaultGoldenPath();
+    check::GoldenSnapshot baseline;
+    std::string err;
+    if (!check::loadGoldenFile(path, baseline, err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 1;
+    }
+    const std::vector<std::string> diffs =
+        check::diffGolden(baseline, current);
+    if (diffs.empty()) {
+        std::printf("golden metrics match %s (%zu apps)\n", path.c_str(),
+                    baseline.entries.size());
+        return 0;
+    }
+    std::fprintf(stderr, "golden metrics diverge from %s:\n",
+                 path.c_str());
+    for (const std::string& d : diffs)
+        std::fprintf(stderr, "  %s\n", d.c_str());
+    std::fprintf(stderr,
+                 "re-bless with `ccnuma_verify golden --bless` if "
+                 "intentional\n");
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    core::cli::Options opt = core::cli::parse(argc, argv);
+    if (opt.positional.empty()) {
+        std::fprintf(stderr, "%s", kUsage);
+        return 2;
+    }
+    const std::string cmd = opt.positional[0];
+    if (cmd == "stress")
+        return runStressCmd(opt);
+    if (cmd == "golden")
+        return runGoldenCmd(opt);
+    std::fprintf(stderr, "unknown command '%s'\n%s", cmd.c_str(),
+                 kUsage);
+    return 2;
+}

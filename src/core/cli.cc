@@ -1,5 +1,6 @@
 #include "core/cli.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,19 +27,83 @@ Options::positionalOr(std::size_t i, std::uint64_t fallback) const
 {
     if (i >= positional.size())
         return fallback;
-    return std::strtoull(positional[i].c_str(), nullptr, 10);
+    std::uint64_t v = 0;
+    return parseU64(positional[i], v) ? v : fallback;
+}
+
+bool
+Options::takeFlag(const std::string& name, std::string& value)
+{
+    for (auto it = unknown.begin(); it != unknown.end(); ++it) {
+        if (const char* v = flagValue(it->c_str(), name.c_str())) {
+            value = v;
+            unknown.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Options::takeSwitch(const std::string& name)
+{
+    const std::string flag = "--" + name;
+    for (auto it = unknown.begin(); it != unknown.end(); ++it) {
+        if (*it == flag) {
+            unknown.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseU64(const std::string& text, std::uint64_t& out)
+{
+    if (text.empty() || text[0] == '-' || text[0] == '+')
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE || end != text.c_str() + text.size())
+        return false;
+    out = v;
+    return true;
 }
 
 Options
 parse(int argc, char** argv)
 {
     Options opt;
+
+    // A malformed numeric value keeps the default and is reported:
+    // silently treating "--jobs=abc" as 0 would silently change the
+    // thread count.
+    auto setU64 = [&opt](const std::string& flag, const char* text,
+                         std::uint64_t& field) {
+        std::uint64_t v = 0;
+        if (parseU64(text, v))
+            field = v;
+        else
+            opt.malformed.push_back(flag + "=" + text);
+    };
+    auto setInt = [&opt](const std::string& flag, const char* text,
+                         int& field) {
+        std::uint64_t v = 0;
+        if (parseU64(text, v) && v <= 1u << 20)
+            field = static_cast<int>(v);
+        else
+            opt.malformed.push_back(flag + "=" + text);
+    };
+
     if (const char* env = std::getenv("CCNUMA_TRACE"))
         opt.traceFile = env;
     if (const char* env = std::getenv("CCNUMA_JSON"))
         opt.jsonFile = env;
     if (const char* env = std::getenv("CCNUMA_JOBS"))
-        opt.jobs = std::atoi(env);
+        setInt("CCNUMA_JOBS", env, opt.jobs);
+    if (const char* env = std::getenv("CCNUMA_SEED"))
+        setU64("CCNUMA_SEED", env, opt.seed);
 
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
@@ -47,7 +112,9 @@ parse(int argc, char** argv)
         else if (const char* v = flagValue(arg, "json"))
             opt.jsonFile = v;
         else if (const char* v = flagValue(arg, "jobs"))
-            opt.jobs = std::atoi(v);
+            setInt("--jobs", v, opt.jobs);
+        else if (const char* v = flagValue(arg, "seed"))
+            setU64("--seed", v, opt.seed);
         else if (std::strncmp(arg, "--", 2) == 0)
             opt.unknown.emplace_back(arg);
         else
@@ -59,12 +126,17 @@ parse(int argc, char** argv)
 bool
 warnUnknown(const Options& opt)
 {
+    for (const std::string& f : opt.malformed)
+        std::fprintf(stderr,
+                     "warning: malformed numeric value in %s "
+                     "(keeping the default)\n",
+                     f.c_str());
     for (const std::string& f : opt.unknown)
         std::fprintf(stderr,
                      "warning: unknown flag %s (known: --trace=FILE "
-                     "--json=FILE --jobs=N)\n",
+                     "--json=FILE --jobs=N --seed=N)\n",
                      f.c_str());
-    return opt.unknown.empty();
+    return opt.unknown.empty() && opt.malformed.empty();
 }
 
 } // namespace ccnuma::core::cli

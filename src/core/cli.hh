@@ -9,9 +9,17 @@
  *                  (env fallback: CCNUMA_JSON)
  *   --jobs=N       StudyRunner worker threads; 0 = one per host core
  *                  (env fallback: CCNUMA_JOBS)
+ *   --seed=N       seed for randomized components (mapping
+ *                  permutations, stress programs); env fallback:
+ *                  CCNUMA_SEED
  *
- * Flags beat environment variables. Anything else starting with "--"
- * is collected in `unknown`; bare words are positional arguments.
+ * Flags beat environment variables. Numeric flag values are parsed
+ * strictly: a malformed value (e.g. --jobs=abc) is reported in
+ * `malformed` and the default is kept — warnUnknown() surfaces both
+ * malformed values and unrecognized flags. Anything else starting with
+ * "--" is collected in `unknown` (drivers with extra flags consume
+ * them via takeFlag()/takeSwitch() before calling warnUnknown());
+ * bare words are positional arguments.
  */
 
 #ifndef CCNUMA_CORE_CLI_HH
@@ -27,8 +35,12 @@ struct Options {
     std::string traceFile;
     std::string jsonFile;
     int jobs = 1;
+    std::uint64_t seed = 1;
     std::vector<std::string> positional;
     std::vector<std::string> unknown;
+    /// Flags whose numeric value did not parse ("--jobs=abc"); the
+    /// field keeps its default when this happens.
+    std::vector<std::string> malformed;
 
     /// positional[i] or `fallback` when absent.
     std::string positionalOr(std::size_t i,
@@ -39,12 +51,24 @@ struct Options {
     /// positional[i] parsed as u64, or `fallback` when absent.
     std::uint64_t positionalOr(std::size_t i,
                                std::uint64_t fallback) const;
+
+    /// Consume "--name=value" from `unknown`: removes it and returns
+    /// true with `value` set. Drivers with extra flags call this
+    /// before warnUnknown().
+    bool takeFlag(const std::string& name, std::string& value);
+    /// Consume a bare "--name" switch from `unknown`.
+    bool takeSwitch(const std::string& name);
 };
 
 /// Parse argv (argv[0] skipped) with environment-variable fallbacks.
 Options parse(int argc, char** argv);
 
-/// Print a warning per unknown flag; returns true if there were none.
+/// Strict u64 parse of a full string; returns false on any trailing
+/// garbage, sign, overflow or empty input.
+bool parseU64(const std::string& text, std::uint64_t& out);
+
+/// Print a warning per unknown flag and per malformed numeric value;
+/// returns true if there were none of either.
 bool warnUnknown(const Options& opt);
 
 } // namespace ccnuma::core::cli

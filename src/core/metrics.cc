@@ -35,7 +35,16 @@ MetricsSink::addScalar(const std::string& label, const std::string& key,
 {
     if (!enabled())
         return;
-    entry(label).scalars.emplace_back(key, v);
+    // Last write wins: duplicate keys inside one JSON object silently
+    // shadow data in most readers, so never emit them.
+    Entry& e = entry(label);
+    for (auto& [k, old] : e.scalars) {
+        if (k == key) {
+            old = v;
+            return;
+        }
+    }
+    e.scalars.emplace_back(key, v);
 }
 
 bool

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Commit-order observation hook for protocol verification.
+ *
+ * The simulator executes every memory transaction atomically against
+ * the global cache/directory state (coroutines are interleaved only at
+ * explicit suspension points, and MemSys::access runs to completion),
+ * so the order in which transactions are processed *is* the machine's
+ * global commit order. A CommitObserver attached to the MemSys sees
+ * every data-moving protocol action in exactly that order, which is
+ * what the sequential-consistency data-value oracle in `ccnuma::check`
+ * (src/check/oracle.hh) needs: it maintains a golden flat memory
+ * updated at each store commit and shadow per-cache line images driven
+ * by the fill/invalidate/downgrade/writeback callbacks, and checks that
+ * every load observes the latest committed value.
+ *
+ * The hooks fire for the transactions prefetches run internally too
+ * (their protocol actions are real even though the issuing processor
+ * does not stall), but not for uncached at-memory fetch&op or for the
+ * synchronization layer, which use pure latency models and never move
+ * cached data.
+ *
+ * When no observer is attached the cost is one null pointer test per
+ * hook site.
+ */
+
+#ifndef CCNUMA_SIM_COMMIT_HH
+#define CCNUMA_SIM_COMMIT_HH
+
+#include "sim/types.hh"
+
+namespace ccnuma::sim {
+
+/** Where the data for a load fill (or hit) came from. */
+enum class DataSource : std::uint8_t {
+    CacheHit, ///< Served from the requester's own cache.
+    Memory,   ///< Filled from the home node's memory.
+    Owner,    ///< Supplied by a remote dirty owner (3-hop transfer).
+};
+
+/**
+ * Observer of data-moving protocol actions in global commit order.
+ * All callbacks receive full line base addresses.
+ */
+class CommitObserver
+{
+  public:
+    virtual ~CommitObserver() = default;
+
+    /// A load by `p` committed; its data came from `src` (`supplier`
+    /// is the owning processor when src == Owner, else kNoProc).
+    virtual void onLoad(ProcId p, LineAddr line, DataSource src,
+                        ProcId supplier) = 0;
+    /// A store by `p` committed; `p` now holds the only valid copy.
+    virtual void onStore(ProcId p, LineAddr line) = 0;
+    /// `p`'s cached copy was invalidated by a remote write.
+    virtual void onInval(ProcId p, LineAddr line) = 0;
+    /// `owner`'s dirty copy was downgraded to Shared; its data was
+    /// written back to the home memory.
+    virtual void onDowngrade(ProcId owner, LineAddr line) = 0;
+    /// `p` evicted a dirty line; its data was written back to memory.
+    virtual void onWriteback(ProcId p, LineAddr line) = 0;
+    /// `p` evicted a clean line (no data movement).
+    virtual void onEvict(ProcId p, LineAddr line) = 0;
+};
+
+} // namespace ccnuma::sim
+
+#endif // CCNUMA_SIM_COMMIT_HH

@@ -70,6 +70,33 @@ struct TraceConfig {
 };
 
 /**
+ * Deliberate protocol mutations for harness self-tests. Honored only
+ * when the project is built with -DCCNUMA_CHECK_MUTATE=ON (the
+ * default): the verification suite proves the SC oracle has teeth by
+ * breaking one transition and asserting the break is detected. With
+ * the option OFF the mutation code is compiled out entirely and these
+ * values are inert.
+ */
+enum class CheckMutation : std::uint8_t {
+    None,             ///< Correct protocol (the only production value).
+    SkipInvalidation, ///< Spare the first sharer of every invalidation
+                      ///< fan-out, leaving it a stale cached copy.
+};
+
+/**
+ * Verification knobs (the `ccnuma::check` subsystem).
+ */
+struct CheckConfig {
+    /// When > 0, the SC oracle attached to this machine re-runs
+    /// MemSys::validateCoherence() every `validateEvery` commits
+    /// (loads+stores), catching invariant breaks close to where they
+    /// happen. 0 disables cadence validation (end-of-run checks only).
+    std::uint64_t validateEvery = 0;
+    /// Deliberately broken protocol transition (see CheckMutation).
+    CheckMutation mutation = CheckMutation::None;
+};
+
+/**
  * Full parameterization of the simulated machine.
  *
  * All latencies are in processor cycles; helpers below compose them into
@@ -147,6 +174,9 @@ struct MachineConfig {
 
     /// Observability configuration (see TraceConfig).
     TraceConfig trace;
+
+    /// Verification configuration (see CheckConfig).
+    CheckConfig check;
 
     /// Use only one processor per node, leaving the sibling idle
     /// (Section 7.2). The machine then spans numProcs nodes.

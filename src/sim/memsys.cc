@@ -138,11 +138,15 @@ MemSys::handleVictim(ProcId p, Cycles now, const CacheResult& r,
         ++st.c.writebacks;
         if (traceOn())
             trace_->onWriteback(p, now, line, home);
+        if (commit_)
+            commit_->onWriteback(p, line);
         e.state = DirState::Uncached;
         e.owner = kNoProc;
         e.sharers.clear();
         dir_.drop(line);
     } else {
+        if (commit_)
+            commit_->onEvict(p, line);
         e.sharers.remove(p);
         if (e.owner == p)
             e.owner = kNoProc;
@@ -160,10 +164,24 @@ MemSys::invalidateSharers(ProcId requester, NodeId home, Cycles now,
     const NodeId myNode = procNode_[requester];
     int n = 0;
     Cycles worst_legs = 0;
+    [[maybe_unused]] bool mutate_spared = false;
     e.sharers.forEach([&](ProcId s) {
         if (s == requester)
             return;
+#ifdef CCNUMA_CHECK_MUTATE
+        // Harness self-test (CheckMutation::SkipInvalidation): a
+        // deliberately broken protocol that forgets to invalidate the
+        // first sharer of every fan-out, leaving it a stale copy the
+        // SC oracle must catch. See sim/config.hh.
+        if (cfg_.check.mutation == CheckMutation::SkipInvalidation &&
+            !mutate_spared) {
+            mutate_spared = true;
+            return;
+        }
+#endif
         caches_[s]->invalidate(line); // line is a full line base address
+        if (commit_)
+            commit_->onInval(s, line);
         if (allStats_)
             ++(*allStats_)[s].c.invalsReceived;
         ++st.c.invalsSent;
@@ -216,6 +234,12 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
         ++st.c.l2Hits;
         if (traceOn())
             trace_->onHit(p, now);
+        if (commit_) {
+            if (write)
+                commit_->onStore(p, line);
+            else
+                commit_->onLoad(p, line, DataSource::CacheHit, kNoProc);
+        }
         return lat;
     }
 
@@ -269,6 +293,8 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
             trace_->onUpgrade(p, now, lat, line, home,
                               static_cast<int>(st.c.invalsSent -
                                                inv_before));
+        if (commit_)
+            commit_->onStore(p, line);
         return lat;
     }
 
@@ -276,6 +302,8 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
     handleVictim(p, now, res, st);
     pendingFill_[p].erase(line);
     obs::EventKind miss_kind = obs::EventKind::MissLocal;
+    DataSource fill_src = DataSource::Memory;
+    ProcId fill_supplier = kNoProc;
 
     const bool dirty_elsewhere =
         e.state == DirState::Dirty && e.owner != kNoProc && e.owner != p;
@@ -311,8 +339,12 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
         lat += rep > direct ? rep - direct : 0;
         ++st.c.missRemoteDirty;
         miss_kind = obs::EventKind::MissRemoteDirty;
+        fill_src = DataSource::Owner;
+        fill_supplier = owner;
         if (write) {
             caches_[owner]->invalidate(line);
+            if (commit_)
+                commit_->onInval(owner, line);
             if (allStats_)
                 ++(*allStats_)[owner].c.invalsReceived;
             e.owner = p;
@@ -323,6 +355,8 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
             caches_[owner]->downgrade(line);
             // Owner's dirty data is written back to home memory.
             useResource(memFree_[home], now, cfg_.memOccupancy);
+            if (commit_)
+                commit_->onDowngrade(owner, line);
             e.state = DirState::Shared;
             e.owner = kNoProc;
             e.sharers.add(p);
@@ -361,6 +395,12 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
     if (traceOn())
         trace_->onMiss(p, now, lat + migration_stall, line, home,
                        miss_kind, write);
+    if (commit_) {
+        if (write)
+            commit_->onStore(p, line);
+        else
+            commit_->onLoad(p, line, fill_src, fill_supplier);
+    }
     return lat + migration_stall;
 }
 

@@ -26,6 +26,7 @@
 
 #include "obs/trace.hh"
 #include "sim/cache.hh"
+#include "sim/commit.hh"
 #include "sim/config.hh"
 #include "sim/directory.hh"
 #include "sim/pagetable.hh"
@@ -125,6 +126,15 @@ class MemSys
     std::string validateCoherence() const;
 
     /**
+     * Attach (or detach with nullptr) a commit-order observer that
+     * sees every data-moving protocol action (see sim/commit.hh).
+     * Attach before Machine::run(); the verification harness uses this
+     * to drive its sequential-consistency data-value oracle. Costs one
+     * null test per hook site when detached.
+     */
+    void attachCommitObserver(CommitObserver* o) { commit_ = o; }
+
+    /**
      * A queued hardware resource (Hub, node memory, metarouter).
      *
      * `freeAt` is the FCFS completion frontier; `frontier` is the latest
@@ -173,6 +183,7 @@ class MemSys
     std::vector<std::unique_ptr<Cache>> caches_;
     std::vector<ProcStats>* allStats_ = nullptr;
     obs::Trace* trace_ = nullptr;
+    CommitObserver* commit_ = nullptr;
     /// Suppresses hooks while prefetch() runs its inner transaction
     /// (whose loads/hits are not folded into the issuing processor).
     bool traceMuted_ = false;

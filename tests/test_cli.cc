@@ -30,6 +30,7 @@ struct CleanEnv {
         unsetenv("CCNUMA_TRACE");
         unsetenv("CCNUMA_JSON");
         unsetenv("CCNUMA_JOBS");
+        unsetenv("CCNUMA_SEED");
     }
 };
 
@@ -97,4 +98,72 @@ TEST(Cli, JobsZeroMeansAutoDetect)
     // 0 is passed through; the StudyRunner resolves it to the host's
     // hardware concurrency.
     EXPECT_EQ(parseArgs({"--jobs=0"}).jobs, 0);
+}
+
+TEST(Cli, SeedFlagAndEnvFallback)
+{
+    CleanEnv env;
+    EXPECT_EQ(parseArgs({}).seed, 1u) << "default seed";
+    EXPECT_EQ(parseArgs({"--seed=42"}).seed, 42u);
+
+    setenv("CCNUMA_SEED", "7", 1);
+    EXPECT_EQ(parseArgs({}).seed, 7u);
+    EXPECT_EQ(parseArgs({"--seed=9"}).seed, 9u) << "flag beats env";
+    unsetenv("CCNUMA_SEED");
+}
+
+TEST(Cli, MalformedNumericValuesKeepDefaultsAndAreReported)
+{
+    CleanEnv env;
+    for (const char* bad :
+         {"--jobs=abc", "--jobs=", "--jobs=3x", "--jobs=-2"}) {
+        const auto opt = parseArgs({bad});
+        EXPECT_EQ(opt.jobs, 1) << bad;
+        ASSERT_EQ(opt.malformed.size(), 1u) << bad;
+        EXPECT_FALSE(core::cli::warnUnknown(opt)) << bad;
+    }
+    const auto opt = parseArgs({"--seed=0x10"});
+    EXPECT_EQ(opt.seed, 1u) << "hex is rejected, default kept";
+    EXPECT_FALSE(opt.malformed.empty());
+
+    setenv("CCNUMA_SEED", "not-a-number", 1);
+    const auto env_opt = parseArgs({});
+    EXPECT_EQ(env_opt.seed, 1u);
+    ASSERT_EQ(env_opt.malformed.size(), 1u);
+    EXPECT_NE(env_opt.malformed[0].find("CCNUMA_SEED"),
+              std::string::npos);
+    unsetenv("CCNUMA_SEED");
+}
+
+TEST(Cli, StrictU64Parse)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(core::cli::parseU64("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(core::cli::parseU64("18446744073709551615", v));
+    EXPECT_EQ(v, 18446744073709551615ull);
+    EXPECT_FALSE(core::cli::parseU64("", v));
+    EXPECT_FALSE(core::cli::parseU64("+3", v));
+    EXPECT_FALSE(core::cli::parseU64("-3", v));
+    EXPECT_FALSE(core::cli::parseU64("3 ", v));
+    EXPECT_FALSE(core::cli::parseU64("18446744073709551616", v))
+        << "overflow";
+}
+
+TEST(Cli, TakeFlagAndSwitchConsumeUnknown)
+{
+    CleanEnv env;
+    auto opt = parseArgs({"--shrink", "--out=base.json", "--leftover"});
+    ASSERT_EQ(opt.unknown.size(), 3u);
+
+    std::string out;
+    EXPECT_TRUE(opt.takeFlag("out", out));
+    EXPECT_EQ(out, "base.json");
+    EXPECT_TRUE(opt.takeSwitch("shrink"));
+    EXPECT_FALSE(opt.takeSwitch("shrink")) << "consumed only once";
+    EXPECT_FALSE(opt.takeFlag("missing", out));
+
+    ASSERT_EQ(opt.unknown.size(), 1u);
+    EXPECT_EQ(opt.unknown[0], "--leftover");
+    EXPECT_FALSE(core::cli::warnUnknown(opt));
 }

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * JSON-validity and schema tests for the metrics the simulator emits:
+ * the strict check::json parser itself (duplicate keys, NaN/Infinity,
+ * trailing garbage, exact uint64 round-trips), and every MetricsSink
+ * document — including ones fed non-finite scalars and repeated keys,
+ * which must still come out as valid JSON.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "check/json.hh"
+#include "core/metrics.hh"
+#include "sim/machine.hh"
+
+using namespace ccnuma;
+using check::json::Value;
+
+namespace {
+
+std::string
+tempPath(const char* name)
+{
+    return ::testing::TempDir() + name;
+}
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream f(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+/// A tiny real run so the sink has genuine breakdown/counter content.
+sim::RunResult
+tinyRun()
+{
+    sim::MachineConfig cfg = sim::MachineConfig::origin2000(2);
+    sim::Machine m(cfg);
+    const sim::Addr a = m.alloc(8 * cfg.lineBytes);
+    return m.run([&](sim::Cpu& cpu) -> sim::Task {
+        for (int i = 0; i < 8; ++i) {
+            cpu.read(a + static_cast<sim::Addr>(i) * cfg.lineBytes);
+            cpu.write(a + static_cast<sim::Addr>(i) * cfg.lineBytes);
+        }
+        cpu.busy(100);
+        co_return;
+    });
+}
+
+} // namespace
+
+TEST(StrictJson, AcceptsWellFormedDocuments)
+{
+    const auto r = check::json::parse(
+        R"({"a": 1, "b": [true, null, "x\n"], "c": {"d": -2.5e3}})");
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_TRUE(r.root.isObject());
+    EXPECT_EQ(r.root.find("a")->asU64(), 1u);
+    EXPECT_EQ(r.root.find("b")->arr.size(), 3u);
+    EXPECT_EQ(r.root.find("b")->arr[2].str, "x\n");
+    EXPECT_DOUBLE_EQ(r.root.find("c")->find("d")->asDouble(), -2500.0);
+}
+
+TEST(StrictJson, RejectsDuplicateKeys)
+{
+    const auto r = check::json::parse(R"({"k": 1, "k": 2})");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("duplicate"), std::string::npos) << r.error;
+}
+
+TEST(StrictJson, RejectsNaNAndInfinity)
+{
+    for (const char* doc :
+         {R"({"v": NaN})", R"({"v": Infinity})", R"({"v": -Infinity})",
+          R"([nan])"}) {
+        const auto r = check::json::parse(doc);
+        EXPECT_FALSE(r.ok) << doc;
+    }
+}
+
+TEST(StrictJson, RejectsTrailingGarbageAndMalformedNumbers)
+{
+    EXPECT_FALSE(check::json::parse(R"({"a": 1} extra)").ok);
+    EXPECT_FALSE(check::json::parse(R"({"a": 1.})").ok);
+    EXPECT_FALSE(check::json::parse(R"({"a": 1e})").ok);
+    EXPECT_FALSE(check::json::parse(R"({"a": })").ok);
+    EXPECT_FALSE(check::json::parse("").ok);
+    EXPECT_FALSE(check::json::parse(R"({"a": 01]})").ok);
+}
+
+TEST(StrictJson, Uint64RoundTripsExactly)
+{
+    // 2^64 - 1 is not representable in a double; the raw-text path
+    // must preserve it anyway.
+    const auto r =
+        check::json::parse(R"({"cycles": 18446744073709551615})");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.root.find("cycles")->asU64(), 18446744073709551615ull);
+}
+
+TEST(MetricsSchema, SinkOutputIsValidAndComplete)
+{
+    const std::string path = tempPath("metrics_schema.json");
+    core::MetricsSink sink(path);
+    const sim::RunResult r = tinyRun();
+    sink.add("run-a", r);
+    sink.addScalar("run-a", "speedup", 1.5);
+    sink.addScalar("scalar-only", "efficiency", 0.75);
+    ASSERT_TRUE(sink.write());
+
+    const auto doc = check::json::parseFile(path);
+    ASSERT_TRUE(doc.ok) << doc.error;
+    const Value* runs = doc.root.find("runs");
+    ASSERT_NE(runs, nullptr);
+    ASSERT_TRUE(runs->isArray());
+    ASSERT_EQ(runs->arr.size(), 2u);
+
+    const Value& a = runs->arr[0];
+    EXPECT_EQ(a.find("label")->str, "run-a");
+    EXPECT_DOUBLE_EQ(a.find("speedup")->asDouble(), 1.5);
+    EXPECT_GT(a.find("runCycles")->asU64(), 0u);
+    const Value* totals = a.find("totals");
+    ASSERT_NE(totals, nullptr);
+    for (const char* key :
+         {"loads", "stores", "l2Hits", "missLocal", "missRemoteClean",
+          "missRemoteDirty", "upgrades", "invalsSent", "writebacks",
+          "lockAcquires", "barriersPassed"})
+        EXPECT_NE(totals->find(key), nullptr) << key;
+    const Value* breakdown = a.find("breakdown");
+    ASSERT_NE(breakdown, nullptr);
+    const double sum = breakdown->find("busy")->asDouble() +
+                       breakdown->find("mem")->asDouble() +
+                       breakdown->find("sync")->asDouble();
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    std::remove(path.c_str());
+}
+
+TEST(MetricsSchema, NonFiniteScalarsNeverLeakIntoTheDocument)
+{
+    const std::string path = tempPath("metrics_nonfinite.json");
+    core::MetricsSink sink(path);
+    sink.addScalar("bad", "nan_speedup", std::nan(""));
+    sink.addScalar("bad", "inf_speedup",
+                   std::numeric_limits<double>::infinity());
+    ASSERT_TRUE(sink.write());
+
+    const std::string text = slurp(path);
+    EXPECT_EQ(text.find("NaN"), std::string::npos);
+    EXPECT_EQ(text.find("Infinity"), std::string::npos);
+    EXPECT_EQ(text.find(": nan"), std::string::npos);
+    EXPECT_EQ(text.find(": inf"), std::string::npos)
+        << "raw non-finite token leaked";
+    const auto doc = check::json::parseFile(path);
+    ASSERT_TRUE(doc.ok) << doc.error;
+    // The writer degrades non-finite values to null.
+    const Value& bad = doc.root.find("runs")->arr[0];
+    EXPECT_EQ(bad.find("nan_speedup")->kind, Value::Kind::Null);
+    EXPECT_EQ(bad.find("inf_speedup")->kind, Value::Kind::Null);
+    std::remove(path.c_str());
+}
+
+TEST(MetricsSchema, RepeatedScalarKeysDoNotEmitDuplicates)
+{
+    const std::string path = tempPath("metrics_dupkeys.json");
+    core::MetricsSink sink(path);
+    sink.addScalar("r", "speedup", 1.0);
+    sink.addScalar("r", "speedup", 2.0); // overwrite, not append
+    ASSERT_TRUE(sink.write());
+
+    const auto doc = check::json::parseFile(path);
+    ASSERT_TRUE(doc.ok) << doc.error << " (duplicate key emitted?)";
+    EXPECT_DOUBLE_EQ(
+        doc.root.find("runs")->arr[0].find("speedup")->asDouble(), 2.0);
+    std::remove(path.c_str());
+}
