@@ -1,0 +1,339 @@
+/**
+ * @file
+ * FastTrack-style happens-before race detection (see race.hh).
+ */
+
+#include "analyze/race.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ccnuma::analyze {
+
+namespace {
+
+const char*
+opName(sim::MemOp k)
+{
+    switch (k) {
+    case sim::MemOp::Load:
+        return "load";
+    case sim::MemOp::Store:
+        return "store";
+    case sim::MemOp::Rmw:
+        return "rmw";
+    }
+    return "?";
+}
+
+std::string
+lockList(const std::vector<int>& locks)
+{
+    if (locks.empty())
+        return "none";
+    std::ostringstream os;
+    for (std::size_t i = 0; i < locks.size(); ++i)
+        os << (i ? "," : "") << locks[i];
+    return os.str();
+}
+
+std::vector<int>
+intersect(const std::vector<int>& a, const std::vector<int>& b)
+{
+    std::vector<int> out;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(out));
+    return out;
+}
+
+} // namespace
+
+std::string
+Race::format() const
+{
+    std::ostringstream os;
+    os << "data race on 0x" << std::hex << addr << " (line 0x" << line
+       << std::dec << "): P" << prior.proc << " " << opName(prior.kind)
+       << " #" << prior.opTag << " [locks " << lockList(prior.locksHeld)
+       << "] vs P" << current.proc << " " << opName(current.kind) << " #"
+       << current.opTag << " [locks " << lockList(current.locksHeld)
+       << "], common locks " << lockList(commonLocks) << ", after "
+       << barrierEpisodes << " barrier episode(s)";
+    return os.str();
+}
+
+RaceDetector::RaceDetector(int nprocs, std::uint32_t line_bytes,
+                           DetectorOptions opt)
+    : opt_(opt),
+      lineMask_(~(line_bytes - 1u)),
+      nprocs_(nprocs)
+{
+    clocks_.reserve(static_cast<std::size_t>(nprocs));
+    for (int p = 0; p < nprocs; ++p) {
+        clocks_.emplace_back(nprocs);
+        // Each processor starts in its own epoch 1@p, so accesses from
+        // distinct processors with no intervening synchronization are
+        // correctly concurrent (a shared zero epoch would be vacuously
+        // covered by everyone).
+        clocks_.back().set(p, 1);
+    }
+    opTag_.assign(static_cast<std::size_t>(nprocs), 0);
+    held_.assign(static_cast<std::size_t>(nprocs), {});
+}
+
+RaceDetector::~RaceDetector() = default;
+
+Epoch
+RaceDetector::epochOf(sim::ProcId p) const
+{
+    return Epoch{clocks_[static_cast<std::size_t>(p)].get(p), p};
+}
+
+AccessSite
+RaceDetector::siteOf(sim::ProcId p, sim::MemOp kind,
+                     std::uint64_t tag) const
+{
+    return AccessSite{p, tag, kind, held_[static_cast<std::size_t>(p)]};
+}
+
+void
+RaceDetector::report(Shadow& sh, sim::Addr addr, const AccessSite& prior,
+                     const AccessSite& current)
+{
+    ++st_.racesFound;
+    // Record only the first race per byte: a racy location keeps racing
+    // on every later access, and near-duplicate reports would crowd
+    // genuinely distinct locations out of the maxRaces window.
+    if (sh.raceReported ||
+        races_.size() >= static_cast<std::size_t>(opt_.maxRaces))
+        return;
+    sh.raceReported = true;
+    Race r;
+    r.addr = addr;
+    r.line = addr & lineMask_;
+    r.prior = prior;
+    r.current = current;
+    r.commonLocks = intersect(prior.locksHeld, current.locksHeld);
+    r.barrierEpisodes = st_.barrierEpisodes;
+    races_.push_back(std::move(r));
+}
+
+void
+RaceDetector::updateLockset(Shadow& sh, sim::ProcId p, bool write)
+{
+    const auto& held = held_[static_cast<std::size_t>(p)];
+    if (!sh.locksetInit) {
+        sh.lockset = held;
+        sh.locksetInit = true;
+    } else if (!sh.lockset.empty()) {
+        sh.lockset = intersect(sh.lockset, held);
+    }
+    if (write) {
+        if (sh.firstWriter == sim::kNoProc) {
+            sh.firstWriter = p;
+            sh.writerProcs = 1;
+        } else if (sh.firstWriter != p && sh.writerProcs < 2) {
+            sh.writerProcs = 2;
+        }
+    }
+    // Eraser condition: written by two processors with no common lock.
+    // Advisory only — the vector clocks decide what actually raced.
+    if (sh.lockset.empty() && sh.writerProcs >= 2 && !sh.locksetAlarmed) {
+        sh.locksetAlarmed = true;
+        ++st_.locksetAlarms;
+    }
+}
+
+void
+RaceDetector::onMemOp(sim::ProcId p, sim::Addr addr, sim::MemOp kind)
+{
+    ++st_.memOps;
+    const std::uint64_t tag = ++opTag_[static_cast<std::size_t>(p)];
+    Shadow& sh = shadow_[addr];
+    VectorClock& C = clocks_[static_cast<std::size_t>(p)];
+    const AccessSite cur = siteOf(p, kind, tag);
+
+    // Writers (plain stores and RMWs) conflict with prior reads.
+    const auto checkReads = [&] {
+        if (sh.reads) {
+            for (sim::ProcId t = 0; t < nprocs_; ++t) {
+                if (t == p)
+                    continue;
+                if (sh.reads->clocks[static_cast<std::size_t>(t)] >
+                    C.get(t))
+                    report(sh, addr,
+                           AccessSite{t,
+                                      sh.reads->tags
+                                          [static_cast<std::size_t>(t)],
+                                      sim::MemOp::Load,
+                                      {}},
+                           cur);
+            }
+        } else if (!C.covers(sh.read)) {
+            report(sh, addr,
+                   AccessSite{sh.read.tid, sh.readTag, sim::MemOp::Load,
+                              sh.readLocks},
+                   cur);
+        }
+    };
+    const auto checkWrite = [&] {
+        if (!C.covers(sh.write))
+            report(sh, addr,
+                   AccessSite{sh.write.tid, sh.writeTag,
+                              sim::MemOp::Store, sh.writeLocks},
+                   cur);
+    };
+    const auto checkAtomic = [&] {
+        if (!C.covers(sh.atomic))
+            report(sh, addr,
+                   AccessSite{sh.atomic.tid, sh.atomicTag,
+                              sim::MemOp::Rmw,
+                              {}},
+                   cur);
+    };
+
+    switch (kind) {
+    case sim::MemOp::Load: {
+        checkWrite();
+        checkAtomic();
+        updateLockset(sh, p, /*write=*/false);
+        if (sh.reads) {
+            sh.reads->clocks[static_cast<std::size_t>(p)] = C.get(p);
+            sh.reads->tags[static_cast<std::size_t>(p)] = tag;
+        } else if (sh.read.empty() || sh.read.tid == p ||
+                   C.covers(sh.read)) {
+            // Ordered after (or same thread as) the previous read: the
+            // epoch representation still suffices.
+            sh.read = epochOf(p);
+            sh.readTag = tag;
+            sh.readLocks = held_[static_cast<std::size_t>(p)];
+        } else {
+            // Genuinely concurrent reads: escalate to a full vector of
+            // read clocks (FastTrack's slow path).
+            ++st_.readEscalations;
+            auto rv = std::make_unique<Shadow::ReadVector>();
+            rv->clocks.assign(static_cast<std::size_t>(nprocs_), 0);
+            rv->tags.assign(static_cast<std::size_t>(nprocs_), 0);
+            rv->clocks[static_cast<std::size_t>(sh.read.tid)] =
+                sh.read.clock;
+            rv->tags[static_cast<std::size_t>(sh.read.tid)] = sh.readTag;
+            rv->clocks[static_cast<std::size_t>(p)] = C.get(p);
+            rv->tags[static_cast<std::size_t>(p)] = tag;
+            sh.reads = std::move(rv);
+            sh.read = Epoch{};
+            sh.readLocks.clear();
+        }
+        break;
+    }
+    case sim::MemOp::Store: {
+        checkWrite();
+        checkAtomic();
+        checkReads();
+        updateLockset(sh, p, /*write=*/true);
+        sh.write = epochOf(p);
+        sh.writeTag = tag;
+        sh.writeLocks = held_[static_cast<std::size_t>(p)];
+        // FastTrack write-clears-reads: later accesses are checked
+        // against this write, which now dominates the read history.
+        sh.read = Epoch{};
+        sh.readTag = 0;
+        sh.readLocks.clear();
+        sh.reads.reset();
+        break;
+    }
+    case sim::MemOp::Rmw: {
+        // Atomic RMWs conflict with plain accesses but not each other,
+        // so they keep their own epoch and skip the atomic check.
+        checkWrite();
+        checkReads();
+        updateLockset(sh, p, /*write=*/true);
+        sh.atomic = epochOf(p);
+        sh.atomicTag = tag;
+        break;
+    }
+    }
+}
+
+void
+RaceDetector::onLockAcquired(sim::ProcId p, int lock)
+{
+    ++st_.syncOps;
+    auto [it, inserted] = lockClock_.try_emplace(lock, nprocs_);
+    if (!inserted) {
+        clocks_[static_cast<std::size_t>(p)].join(it->second);
+        ++st_.vcJoins;
+    }
+    auto& held = held_[static_cast<std::size_t>(p)];
+    held.insert(std::lower_bound(held.begin(), held.end(), lock), lock);
+}
+
+void
+RaceDetector::onLockReleased(sim::ProcId p, int lock)
+{
+    ++st_.syncOps;
+    auto [it, inserted] = lockClock_.try_emplace(lock, nprocs_);
+    VectorClock& C = clocks_[static_cast<std::size_t>(p)];
+    it->second = C; // L_l := C_p (publish everything before release)
+    C.inc(p);       // fresh epoch for everything after
+    auto& held = held_[static_cast<std::size_t>(p)];
+    const auto pos = std::lower_bound(held.begin(), held.end(), lock);
+    if (pos != held.end() && *pos == lock)
+        held.erase(pos);
+}
+
+void
+RaceDetector::onBarrierArrive(sim::ProcId p, int barrier,
+                              std::uint64_t /*episode*/)
+{
+    ++st_.syncOps;
+    auto [it, inserted] = barrierClock_.try_emplace(barrier, nprocs_);
+    VectorClock& C = clocks_[static_cast<std::size_t>(p)];
+    it->second.join(C); // B_b accumulates every arrival
+    ++st_.vcJoins;
+    C.inc(p);
+}
+
+void
+RaceDetector::onBarrierDepart(sim::ProcId p, int barrier,
+                              std::uint64_t episode)
+{
+    ++st_.syncOps;
+    auto [it, inserted] = barrierClock_.try_emplace(barrier, nprocs_);
+    clocks_[static_cast<std::size_t>(p)].join(it->second);
+    ++st_.vcJoins;
+    if (episode + 1 > st_.barrierEpisodes)
+        st_.barrierEpisodes = episode + 1;
+}
+
+void
+RaceDetector::onTaskSteal(sim::ProcId /*thief*/, sim::ProcId /*victim*/)
+{
+    // The steal is already ordered by the victim queue's lock (the
+    // thief holds it, so the release->acquire edge carries the
+    // happens-before); this callback is context/statistics only.
+    ++st_.syncOps;
+    ++st_.stealEdges;
+}
+
+DetectorStats
+RaceDetector::stats() const
+{
+    DetectorStats s = st_;
+    s.shadowLocations = shadow_.size();
+    std::uint64_t bytes =
+        shadow_.size() *
+        (sizeof(std::pair<const sim::Addr, Shadow>) + 2 * sizeof(void*));
+    for (const auto& [addr, sh] : shadow_) {
+        if (sh.reads)
+            bytes += sizeof(Shadow::ReadVector) +
+                     static_cast<std::uint64_t>(nprocs_) *
+                         (sizeof(Clock) + sizeof(std::uint64_t));
+        bytes += (sh.lockset.capacity() + sh.writeLocks.capacity() +
+                  sh.readLocks.capacity()) *
+                 sizeof(int);
+    }
+    s.shadowBytes = bytes;
+    return s;
+}
+
+} // namespace ccnuma::analyze

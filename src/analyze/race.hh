@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Happens-before data-race detector over simulated executions.
+ *
+ * A FastTrack-style vector-clock algorithm consumes the byte-granular
+ * access stream and the synchronization callbacks of a sim::SyncObserver
+ * and reports every pair of conflicting accesses (two accesses to the
+ * same byte, at least one a plain write, from different processors) not
+ * ordered by the happens-before relation the program's synchronization
+ * induces:
+ *
+ *  - lock release -> subsequent acquire of the same lock;
+ *  - barrier episode: every arrival -> every departure of the episode;
+ *  - task-queue steals, which arrive already ordered by the victim
+ *    queue's lock (the steal callback is counted and kept as report
+ *    context).
+ *
+ * Shadow state is per byte with epoch compression: a location holds the
+ *  last writer's epoch, the last atomic (LL-SC RMW) writer's epoch and
+ * the last reader's epoch, escalating the read side to a full vector
+ * clock only when genuinely read concurrently (FastTrack's O(1) common
+ * case). LL-SC RMWs model atomic hardware operations: they race with
+ * plain accesses but not with each other.
+ *
+ * An Eraser-style lockset runs alongside as a fallback diagnostic:
+ * every location intersects the set of locks held across its accesses.
+ * Happens-before races are the detector's verdict (they are real in
+ * this execution); locations whose candidate lockset goes empty while
+ * written by multiple processors are counted as advisory lockset
+ * alarms — they flag lock-discipline violations that this particular
+ * schedule may have serialized (e.g. by a fortunate barrier), and each
+ * race report carries the locks held at both accesses so a missing-
+ * lock defect is immediately visible.
+ *
+ * Violations are recorded (first `DetectorOptions::maxRaces`), never
+ * thrown, and callbacks arrive in deterministic commit order, so race
+ * reports replay bit-identically for a fixed seed.
+ */
+
+#ifndef CCNUMA_ANALYZE_RACE_HH
+#define CCNUMA_ANALYZE_RACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analyze/vectorclock.hh"
+#include "sim/sync_observer.hh"
+#include "sim/types.hh"
+
+namespace ccnuma::analyze {
+
+/** One side of a racing pair. */
+struct AccessSite {
+    sim::ProcId proc = sim::kNoProc;
+    std::uint64_t opTag = 0; ///< 1-based per-processor access index
+                             ///< (the PC-like identifier).
+    sim::MemOp kind = sim::MemOp::Load;
+    std::vector<int> locksHeld; ///< Lock ids held at the access.
+};
+
+/** One detected data race. */
+struct Race {
+    sim::Addr addr = 0;       ///< The contended byte.
+    sim::LineAddr line = 0;   ///< Its cache line.
+    AccessSite prior;         ///< Earlier access (commit order).
+    AccessSite current;       ///< The access that exposed the race.
+    std::vector<int> commonLocks; ///< Held at both sides (normally
+                                  ///< empty: a common lock implies HB).
+    std::uint64_t barrierEpisodes = 0; ///< Episodes completed machine-
+                                       ///< wide before detection.
+
+    /// One-line human-readable description.
+    std::string format() const;
+};
+
+/** Detector tuning knobs. */
+struct DetectorOptions {
+    int maxRaces = 16;   ///< Cap on recorded races (first = witness).
+};
+
+/** Work/footprint statistics (emitted through core::MetricsSink). */
+struct DetectorStats {
+    std::uint64_t memOps = 0;   ///< Byte accesses analyzed.
+    std::uint64_t syncOps = 0;  ///< Lock/barrier/steal callbacks.
+    std::uint64_t vcJoins = 0;  ///< Vector-clock join operations.
+    std::uint64_t readEscalations = 0; ///< Epoch -> full-VC promotions.
+    std::uint64_t stealEdges = 0;      ///< Task-queue steals observed.
+    std::uint64_t barrierEpisodes = 0; ///< Completed barrier episodes.
+    std::uint64_t locksetAlarms = 0;   ///< Advisory Eraser alarms.
+    std::uint64_t racesFound = 0;      ///< Races detected (not capped).
+    std::uint64_t shadowLocations = 0; ///< Distinct bytes tracked.
+    std::uint64_t shadowBytes = 0;     ///< Approx. shadow footprint.
+};
+
+/** The detector; attach to a Machine before run(). */
+class RaceDetector final : public sim::SyncObserver
+{
+  public:
+    RaceDetector(int nprocs, std::uint32_t line_bytes,
+                 DetectorOptions opt = {});
+    ~RaceDetector() override;
+
+    // ---- sim::SyncObserver ----
+    void onMemOp(sim::ProcId p, sim::Addr addr, sim::MemOp kind) override;
+    void onLockAcquired(sim::ProcId p, int lock) override;
+    void onLockReleased(sim::ProcId p, int lock) override;
+    void onBarrierArrive(sim::ProcId p, int barrier,
+                         std::uint64_t episode) override;
+    void onBarrierDepart(sim::ProcId p, int barrier,
+                         std::uint64_t episode) override;
+    void onTaskSteal(sim::ProcId thief, sim::ProcId victim) override;
+
+    // ---- results ----
+    bool raced() const { return !races_.empty(); }
+    const std::vector<Race>& races() const { return races_; }
+    /// Statistics including the current shadow-memory footprint.
+    DetectorStats stats() const;
+
+  private:
+    /// Per-byte shadow cell (epoch-compressed FastTrack state plus the
+    /// Eraser candidate lockset).
+    struct Shadow {
+        Epoch write;   ///< Last plain-write epoch.
+        Epoch atomic;  ///< Last LL-SC RMW epoch.
+        Epoch read;    ///< Last read epoch (empty once escalated).
+        std::uint64_t writeTag = 0;  ///< Op tag of the last plain write.
+        std::uint64_t atomicTag = 0; ///< Op tag of the last RMW.
+        std::uint64_t readTag = 0;   ///< Op tag of the last read.
+        std::vector<int> writeLocks; ///< Locks held at the last write.
+        std::vector<int> readLocks;  ///< Locks held at the last read.
+        /// Escalated concurrent-read state: per-thread read clocks and
+        /// the matching op tags (allocated on first concurrent read).
+        struct ReadVector {
+            std::vector<Clock> clocks;
+            std::vector<std::uint64_t> tags;
+        };
+        std::unique_ptr<ReadVector> reads;
+        /// Eraser candidate lockset (valid after the first access).
+        std::vector<int> lockset;
+        bool locksetInit = false;
+        bool locksetAlarmed = false;
+        bool raceReported = false; ///< One recorded race per byte.
+        std::uint8_t writerProcs = 0; ///< Distinct-writer saturating
+                                      ///< count (0, 1 or 2+).
+        sim::ProcId firstWriter = sim::kNoProc;
+    };
+
+    Epoch epochOf(sim::ProcId p) const;
+    void report(Shadow& sh, sim::Addr addr, const AccessSite& prior,
+                const AccessSite& current);
+    void updateLockset(Shadow& sh, sim::ProcId p, bool write);
+    AccessSite siteOf(sim::ProcId p, sim::MemOp kind,
+                      std::uint64_t tag) const;
+
+    DetectorOptions opt_;
+    std::uint32_t lineMask_;
+    int nprocs_;
+
+    std::vector<VectorClock> clocks_;  ///< C_t per processor.
+    std::vector<std::uint64_t> opTag_; ///< Per-processor access count.
+    std::vector<std::vector<int>> held_; ///< Sorted lock ids held.
+    std::unordered_map<int, VectorClock> lockClock_;    ///< L_m.
+    std::unordered_map<int, VectorClock> barrierClock_; ///< B_b.
+    std::unordered_map<sim::Addr, Shadow> shadow_;
+
+    std::vector<Race> races_;
+    DetectorStats st_;
+};
+
+} // namespace ccnuma::analyze
+
+#endif // CCNUMA_ANALYZE_RACE_HH

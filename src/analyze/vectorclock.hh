@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Vector clocks and FastTrack-style epochs for happens-before race
+ * analysis.
+ *
+ * An Epoch is the compressed form `c@t` of a full vector clock: "the
+ * event at thread t's logical time c". Most shadow-memory state only
+ * ever needs the last access's epoch (FastTrack's key observation), so
+ * the per-location cost stays O(1); a full VectorClock is allocated
+ * only when a location is genuinely read concurrently (see race.hh).
+ */
+
+#ifndef CCNUMA_ANALYZE_VECTORCLOCK_HH
+#define CCNUMA_ANALYZE_VECTORCLOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ccnuma::analyze {
+
+/// A thread's scalar logical clock (incremented at release operations).
+using Clock = std::uint64_t;
+
+/** Compressed `clock @ thread` pair; tid < 0 means "no access yet". */
+struct Epoch {
+    Clock clock = 0;
+    sim::ProcId tid = sim::kNoProc;
+
+    bool empty() const { return tid == sim::kNoProc; }
+    bool
+    operator==(const Epoch& o) const
+    {
+        return clock == o.clock && tid == o.tid;
+    }
+};
+
+/** A fixed-width vector of per-thread clocks with join/compare ops. */
+class VectorClock
+{
+  public:
+    explicit VectorClock(int nthreads)
+        : v_(static_cast<std::size_t>(nthreads), 0)
+    {
+    }
+
+    Clock
+    get(sim::ProcId t) const
+    {
+        return v_[static_cast<std::size_t>(t)];
+    }
+    void
+    set(sim::ProcId t, Clock c)
+    {
+        v_[static_cast<std::size_t>(t)] = c;
+    }
+    void
+    inc(sim::ProcId t)
+    {
+        ++v_[static_cast<std::size_t>(t)];
+    }
+
+    /// Pointwise maximum (the happens-before join).
+    void
+    join(const VectorClock& o)
+    {
+        for (std::size_t i = 0; i < v_.size(); ++i)
+            if (o.v_[i] > v_[i])
+                v_[i] = o.v_[i];
+    }
+
+    /// Does the event `e` happen before (or at) this clock? Empty
+    /// epochs (no prior access) are trivially covered.
+    bool
+    covers(const Epoch& e) const
+    {
+        return e.empty() ||
+               e.clock <= v_[static_cast<std::size_t>(e.tid)];
+    }
+
+    int size() const { return static_cast<int>(v_.size()); }
+
+  private:
+    std::vector<Clock> v_;
+};
+
+} // namespace ccnuma::analyze
+
+#endif // CCNUMA_ANALYZE_VECTORCLOCK_HH

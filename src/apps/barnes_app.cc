@@ -214,35 +214,53 @@ BarnesApp::program()
             localA + static_cast<Addr>(p) * (n / P + 64) * 2 * 128;
 
         // ================= Phase 1: tree build =================
+        //
+        // Byte discipline inside the 128-byte cell record (so the
+        // intended line-level sharing carries no same-byte data race):
+        //   +0 / +64   geometry + creator-initialized state (written
+        //              by the cell's unique creator, under its lock)
+        //   +8 / +72   stable fields traversals read
+        //   +32..+63   per-proc update slots (4 B x 8; the hot
+        //              upper-cell scratch that bounces lines)
+        //   +96..+127  child-pointer slot array (4 B x 8, written by
+        //              each child's unique creator)
         if (cfg.variant == BarnesVariant::Original) {
             // Insert each body into the shared tree, reading the path
             // and locking/writing cells we modify.
+            const auto& cells = tree->cells();
             for (const int b : mine) {
                 const auto& path = tree->insertPath(b);
                 for (std::size_t pi = 0; pi < path.size(); ++pi) {
                     const int ci = path[pi];
                     // A cell record (children, com, lock) spans two
                     // lines.
-                    cpu.read(cell_line(ci));
-                    cpu.read(cell_line(ci) + 64);
+                    cpu.read(cell_line(ci) + 8);
+                    cpu.read(cell_line(ci) + 72);
                     cpu.busy(12);
                     // Upper-level cells keep being modified (child
                     // slot installs, subdivisions) by every processor
                     // throughout the phase: fine-grained read-write
                     // sharing that bounces those lines machine-wide.
+                    // Each proc writes its own 4-byte slot.
                     if ((*cell_depth)[ci] <= 4 && (b + ci) % 4 == 0)
-                        cpu.write(cell_line(ci));
+                        cpu.write(cell_line(ci) + 32 + 4 * (p % 8));
                     if (tree->creatorOf(ci) == b) {
                         // We created this cell: lock it (the lock word
                         // lives in the cell record, so locking writes
                         // the cell line and invalidates all readers),
-                        // write it, and install the child pointer in
-                        // its parent.
+                        // write it, and install the child pointer into
+                        // our octant slot of the parent (each slot has
+                        // exactly one writer: the child's creator).
                         co_await cpu.acquire(lock_of(ci));
                         cpu.write(cell_line(ci));
-                        cpu.write(cell_line(ci));
+                        cpu.write(cell_line(ci) + 64);
                         if (pi > 0) {
-                            cpu.write(cell_line(path[pi - 1]));
+                            const int par = path[pi - 1];
+                            int slot = 0;
+                            for (int s = 0; s < 8; ++s)
+                                if (cells[par].child[s] == ci)
+                                    slot = s;
+                            cpu.write(cell_line(par) + 96 + 4 * slot);
                         }
                         cpu.release(lock_of(ci));
                     }
@@ -304,7 +322,9 @@ BarnesApp::program()
                 const std::uint32_t ci = static_cast<std::uint32_t>(
                     (static_cast<std::uint64_t>(p) * 2654435761u +
                      e * 40503u) % tree_cells);
-                cpu.read(cell_line(ci));
+                // Stable-field bytes: other procs' in-flight merge
+                // writes target offset 0 of the same (dirty) lines.
+                cpu.read(cell_line(ci) + 8);
                 cpu.busy(30);
                 if (e % 16 == 15)
                     co_await cpu.checkpoint();
@@ -346,8 +366,10 @@ BarnesApp::program()
                     co_await cpu.checkpoint();
             }
             // Attach to our unique supertree leaf: one write, no lock.
+            // The link field at +64 is ours alone; the leaf's space
+            // owner writes only the offset-0 bytes during its build.
             cpu.write(cell_line(static_cast<std::uint32_t>(p %
-                tree->cells().size())));
+                tree->cells().size())) + 64);
         }
         co_await cpu.barrier(bar);
 
@@ -366,7 +388,12 @@ BarnesApp::program()
                         cpu.read(cell_line(
                             static_cast<std::uint32_t>(ch)));
                 cpu.busy(60);
-                cpu.write(cell_line(static_cast<std::uint32_t>(c)));
+                // Moments land at +64; the child reads above touch the
+                // offset-0 geometry bytes, so concurrent upward-pass
+                // work on neighboring subtrees stays byte-disjoint
+                // (the real code orders it with per-cell counters).
+                cpu.write(cell_line(static_cast<std::uint32_t>(c)) +
+                          64);
                 if (++done % 8 == 0)
                     co_await cpu.checkpoint();
             }
@@ -391,7 +418,10 @@ BarnesApp::program()
                     if (++k % 16 == 0)
                         co_await cpu.checkpoint();
                 }
-                cpu.write(body_line(b));
+                // Accumulated force goes to the second half of the
+                // body record; partner reads above fetch the position
+                // bytes at offset 0 of the same line.
+                cpu.write(body_line(b) + 64);
                 co_await cpu.checkpoint();
             }
         }

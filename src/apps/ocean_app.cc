@@ -67,26 +67,34 @@ OceanApp::program()
 
         for (int it = 0; it < cfg.iterations; ++it) {
             for (int color = 0; color < 2; ++color) {
+                // Red-black byte discipline within each 8-byte point:
+                // the current color's sweep writes its own half-word
+                // (offset 4*color) while boundary reads fetch the
+                // OTHER color's half-word, written last phase and
+                // already ordered by the inter-color barrier. Same
+                // lines either way -- identical protocol traffic.
+                const Addr wr = static_cast<Addr>(4 * color);
+                const Addr rd = static_cast<Addr>(4 * (1 - color));
                 // Fetch boundary rows from north/south neighbors:
                 // contiguous lines along their edge rows.
                 if (north >= 0)
                     for (std::uint64_t j = 1; j <= myw; j += 16)
-                        cpu.read(cell(north, 0, h[north], j));
+                        cpu.read(cell(north, 0, h[north], j) + rd);
                 if (south >= 0)
                     for (std::uint64_t j = 1; j <= myw; j += 16)
-                        cpu.read(cell(south, 0, 1, j));
+                        cpu.read(cell(south, 0, 1, j) + rd);
                 co_await cpu.checkpoint();
                 // East/west boundary columns: one line per row
                 // (fragmentation -- only 8 useful bytes per line).
                 if (west >= 0)
                     for (std::uint64_t i = 1; i <= myh; ++i) {
-                        cpu.read(cell(west, 0, i, w[west]));
+                        cpu.read(cell(west, 0, i, w[west]) + rd);
                         if (i % 32 == 0)
                             co_await cpu.checkpoint();
                     }
                 if (east >= 0)
                     for (std::uint64_t i = 1; i <= myh; ++i) {
-                        cpu.read(cell(east, 0, i, 1));
+                        cpu.read(cell(east, 0, i, 1) + rd);
                         if (i % 32 == 0)
                             co_await cpu.checkpoint();
                     }
@@ -98,7 +106,7 @@ OceanApp::program()
                         cpu.read(cell(p, 0, i, j));
                         cpu.read(cell(p, 1, i, j)); // rhs grid
                         cpu.busy(8 * cfg.cyclesPerPoint);
-                        cpu.write(cell(p, 0, i, j));
+                        cpu.write(cell(p, 0, i, j) + wr);
                     }
                     co_await cpu.checkpoint();
                 }

@@ -115,8 +115,11 @@ ProteinApp::program()
                              ((p + c) % 64) * 128);
                     co_await cpu.checkpoint();
                 }
-                // Publish our slice of the result.
-                cpu.write((*node_addr)[nd] + (p % 64) * 128);
+                // Publish our slice of the result into the second half
+                // of our per-proc line -- group members concurrently
+                // reading the shared substructure state touch only the
+                // first-half bytes (offset 0) of those same lines.
+                cpu.write((*node_addr)[nd] + (p % 64) * 128 + 64);
             }
             co_await cpu.barrier(bar);
         }

@@ -87,17 +87,26 @@ RadixApp::program()
             co_await cpu.barrier(bar);
 
             // --- Phase 2: parallel prefix over histograms (tree). ---
-            for (int stride = 1; stride < P; stride *= 2) {
+            // Each tree level is double-buffered within the histogram
+            // line: level k reads the half-word the previous level (or
+            // phase 1, for k = 0) wrote -- ordered by the per-level
+            // barrier -- and writes the other half-word, so partner
+            // reads never touch the bytes their owner is updating in
+            // the same level. Line-granular traffic is unchanged.
+            int level = 0;
+            for (int stride = 1; stride < P; stride *= 2, ++level) {
                 const int partner = p ^ stride;
+                const Addr rd = static_cast<Addr>(4 * (level % 2));
+                const Addr wr = static_cast<Addr>(4 * ((level + 1) % 2));
                 if (partner < P) {
                     for (std::uint64_t l = 0; l < hist_lines; ++l) {
                         if (cfg.prefetchHist && l + 1 < hist_lines)
                             cpu.prefetch(hist_line(partner, l + 1));
-                        cpu.read(hist_line(partner, l));
+                        cpu.read(hist_line(partner, l) + rd);
                     }
                     cpu.busy(radix * 2);
                     for (std::uint64_t l = 0; l < hist_lines; ++l)
-                        cpu.write(hist_line(p, l));
+                        cpu.write(hist_line(p, l) + wr);
                 }
                 co_await cpu.barrier(bar);
             }

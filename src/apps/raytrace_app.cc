@@ -61,7 +61,6 @@ RaytraceApp::program()
     const auto* work = &work_;
 
     return [=](Cpu& cpu) -> Task {
-        const int p = cpu.id();
         const int side = cfg.imageSide;
         const int tiles_per_side = side / kTile;
 

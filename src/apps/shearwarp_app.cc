@@ -161,10 +161,14 @@ ShearWarpApp::program()
                     cpu.read(inter + static_cast<Addr>(y) * dim * 4 +
                              x);
                 cpu.busy(static_cast<Cycles>(dim) * 10);
+                // A boundary scanline whose segments straddle a
+                // partition split is warped by both owners; each
+                // writes only its own segments' pixels, modeled as a
+                // per-proc byte slot within the shared output lines.
                 for (int x = 0; x < dim * 4; x += 128)
                     cpu.write(final_img +
                               ((static_cast<Addr>(y) + dim / 16) %
-                               dim) * dim * 4 + x);
+                               dim) * dim * 4 + x + 4 * (p % 8));
                 co_await cpu.checkpoint();
             }
         }

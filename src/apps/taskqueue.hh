@@ -23,7 +23,8 @@ class TaskQueues
 {
   public:
     /// Create `nprocs` queues with their sim locks on `m`.
-    TaskQueues(sim::Machine& m, int nprocs) : queues_(nprocs)
+    TaskQueues(sim::Machine& m, int nprocs)
+        : machine_(&m), queues_(nprocs)
     {
         locks_.reserve(nprocs);
         for (int p = 0; p < nprocs; ++p)
@@ -59,8 +60,13 @@ class TaskQueues
             queues_[thief].push_back(v.front());
             v.erase(v.begin());
         }
-        if (take > 0)
+        if (take > 0) {
             ++steals_[thief];
+            // Steal edge for the race analyzer: delivered while the
+            // thief holds lock(victim), so it lands between the thief's
+            // grant and release callbacks for that lock.
+            machine_->noteTaskSteal(thief, victim);
+        }
         return take;
     }
 
@@ -112,6 +118,7 @@ class TaskQueues
     }
 
   private:
+    sim::Machine* machine_;
     std::vector<std::vector<int>> queues_;
     std::vector<sim::LockId> locks_;
     std::vector<std::uint64_t> steals_;

@@ -85,7 +85,6 @@ VolrendApp::program()
     const auto* samples = &samples_;
 
     return [=](Cpu& cpu) -> Task {
-        const int p = cpu.id();
         const int dim = cfg.volDim;
         const int bps = dim / kBlock;
 

@@ -72,7 +72,10 @@ WaterNsqApp::program()
                     if (k % 8 == 0)
                         co_await cpu.checkpoint();
                 }
-                cpu.write(mol(i)); // own force update
+                // Own force update: the force sub-field lives in the
+                // second half of the first molecule line, disjoint from
+                // the position bytes partners read concurrently.
+                cpu.write(mol(i) + 64);
                 co_await cpu.checkpoint();
             }
         } else {
@@ -104,7 +107,7 @@ WaterNsqApp::program()
                 co_await cpu.checkpoint();
             }
             for (std::uint64_t i = mb; i < me; ++i)
-                cpu.write(mol(i));
+                cpu.write(mol(i) + 64); // force sub-field (see above)
         }
         co_await cpu.barrier(bar);
 
@@ -241,8 +244,12 @@ WaterSpApp::program()
                 }
                 co_await cpu.checkpoint();
             }
+            // Force accumulation targets the force sub-field (second
+            // half of the molecule line); neighbor owners read only the
+            // position bytes at offset 0, so the concurrent accesses
+            // touch disjoint bytes of the same line.
             for (const int mi : mine)
-                cpu.write(mol(mi));
+                cpu.write(mol(mi) + 64);
             co_await cpu.checkpoint();
         }
         co_await cpu.barrier(bar);

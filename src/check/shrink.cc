@@ -68,12 +68,13 @@ buildProgram(const StressProgram& prog, const std::vector<Unit>& units,
 } // namespace
 
 ShrinkResult
-shrink(const StressProgram& prog, const StressOptions& opt, int maxRuns)
+shrinkWith(const StressProgram& prog, const StressRunner& run,
+           int maxRuns)
 {
     ShrinkResult res;
     res.opsBefore = prog.numOps();
     res.program = prog;
-    res.report = execute(prog, opt);
+    res.report = run(prog);
     res.runs = 1;
     if (!res.report.failed) {
         res.opsAfter = res.opsBefore;
@@ -110,7 +111,7 @@ shrink(const StressProgram& prog, const StressOptions& opt, int maxRuns)
                              selected.end());
             StressProgram candProg =
                 buildProgram(prog, units, candidate);
-            StressReport candRep = execute(candProg, opt);
+            StressReport candRep = run(candProg);
             ++res.runs;
             if (candRep.failed) {
                 selected = std::move(candidate);
@@ -129,6 +130,15 @@ shrink(const StressProgram& prog, const StressOptions& opt, int maxRuns)
     }
     res.opsAfter = res.program.numOps();
     return res;
+}
+
+ShrinkResult
+shrink(const StressProgram& prog, const StressOptions& opt, int maxRuns)
+{
+    return shrinkWith(
+        prog,
+        [&opt](const StressProgram& p) { return execute(p, opt); },
+        maxRuns);
 }
 
 } // namespace ccnuma::check

@@ -19,6 +19,8 @@
 #ifndef CCNUMA_CHECK_SHRINK_HH
 #define CCNUMA_CHECK_SHRINK_HH
 
+#include <functional>
+
 #include "check/stress.hh"
 
 namespace ccnuma::check {
@@ -33,10 +35,23 @@ struct ShrinkResult {
 };
 
 /**
- * Minimize `prog` (which must fail under `opt`) to a small witness.
+ * Executes one candidate program and judges it. The ddmin loop is
+ * agnostic to *what* failed: the SC-oracle path runs execute() and the
+ * race-analysis path (ccnuma::analyze) runs the same program under a
+ * fresh RaceDetector, each mapping its own violation into
+ * StressReport::failed.
+ */
+using StressRunner = std::function<StressReport(const StressProgram&)>;
+
+/**
+ * Minimize `prog` (which must fail under `run`) to a small witness.
  * `maxRuns` bounds the number of candidate executions. If `prog` does
  * not fail, it is returned unchanged with a passing report.
  */
+ShrinkResult shrinkWith(const StressProgram& prog,
+                        const StressRunner& run, int maxRuns = 600);
+
+/// shrinkWith() judging candidates by execute(prog, opt).
 ShrinkResult shrink(const StressProgram& prog, const StressOptions& opt,
                     int maxRuns = 600);
 

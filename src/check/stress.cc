@@ -110,8 +110,12 @@ generate(const StressOptions& opt)
         std::uint64_t nextLockGroup =
             lockGroupBase + static_cast<std::uint64_t>(p) * 1000000;
 
-        auto memOp = [&](std::uint64_t group) {
+        // `heldLock` is the lock section the op sits in (-1 outside).
+        // Disciplined mode uses it to keep truly-shared lines inside
+        // their owning lock's sections only (see StressOptions).
+        auto memOp = [&](std::uint64_t group, int heldLock) {
             Op op;
+            const int sharedLines = std::max(1, opt.sharedLines);
             const double k = rng.uniform();
             if (k < opt.rmwFrac)
                 op.kind = OpKind::Rmw;
@@ -122,11 +126,33 @@ generate(const StressOptions& opt)
             else
                 op.kind = OpKind::Read;
             const double r = rng.uniform();
-            if (r < opt.sharedFrac) {
+            // In disciplined mode shared lines are eligible only inside
+            // a lock section whose lock owns at least one line.
+            const bool sharedOk =
+                !opt.disciplined ||
+                (heldLock >= 0 && heldLock < sharedLines);
+            if (r < opt.sharedFrac && sharedOk) {
                 op.region = Region::Shared;
-                op.slot = static_cast<std::uint32_t>(
-                    rng.range(std::max(1, opt.sharedLines)));
+                if (opt.disciplined) {
+                    // A line of the held lock's partition:
+                    // slot ≡ heldLock (mod numLocks), slot < sharedLines.
+                    const auto stride =
+                        static_cast<std::uint32_t>(prog.numLocks);
+                    const std::uint32_t count =
+                        (static_cast<std::uint32_t>(sharedLines) - 1u -
+                         static_cast<std::uint32_t>(heldLock)) /
+                            stride +
+                        1u;
+                    op.slot = static_cast<std::uint32_t>(heldLock) +
+                              stride * static_cast<std::uint32_t>(
+                                           rng.range(count));
+                } else {
+                    op.slot = static_cast<std::uint32_t>(
+                        rng.range(sharedLines));
+                }
             } else if (r < opt.sharedFrac + opt.falseSharedFrac) {
+                // (An ineligible shared roll lands here too: r <
+                // sharedFrac implies this bound.)
                 op.region = Region::FalseShared;
                 op.slot = static_cast<std::uint32_t>(
                     rng.range(std::max(1, opt.falseSharedLines)));
@@ -165,12 +191,12 @@ generate(const StressOptions& opt)
                     const int body =
                         1 + static_cast<int>(rng.range(3));
                     for (int b = 0; b < body; ++b)
-                        memOp(g);
+                        memOp(g, static_cast<int>(lock));
                     trace.push_back(
                         Op{OpKind::LockRel, Region::Shared, lock, g});
                     continue;
                 }
-                memOp(0);
+                memOp(0, -1);
             }
             if (seg + 1 < segments)
                 trace.push_back(
@@ -182,7 +208,8 @@ generate(const StressOptions& opt)
 }
 
 StressReport
-execute(const StressProgram& prog, const StressOptions& opt)
+execute(const StressProgram& prog, const StressOptions& opt,
+        sim::SyncObserver* syncObs)
 {
     StressReport rep;
     rep.seed = opt.seed;
@@ -222,6 +249,8 @@ execute(const StressProgram& prog, const StressOptions& opt)
 
         ScOracle oracle(m.mem());
         m.mem().attachCommitObserver(&oracle);
+        if (syncObs)
+            m.attachSyncObserver(syncObs);
 
         auto addrOf = [&](int p, const Op& op) -> sim::Addr {
             switch (op.region) {

@@ -30,6 +30,10 @@
 #include "sim/config.hh"
 #include "sim/types.hh"
 
+namespace ccnuma::sim {
+class SyncObserver;
+}
+
 namespace ccnuma::check {
 
 /** One operation in a processor's trace. */
@@ -92,6 +96,15 @@ struct StressOptions {
     std::uint64_t validateEvery = 512; ///< validateCoherence cadence.
     sim::CheckMutation mutation = sim::CheckMutation::None;
 
+    /// Generate a properly-synchronized program: truly-shared lines are
+    /// partitioned across the locks (line ≡ lock id mod numLocks) and
+    /// touched only inside the owning lock's sections; outside lock
+    /// sections only the false-shared and private regions are used.
+    /// Such programs are data-race-free by construction — the race
+    /// analyzer must report nothing on them, and must report races once
+    /// CheckMutation::DropLockAcquire removes the locking.
+    bool disciplined = false;
+
     /// Machine shape template (numProcs/check knobs are overridden by
     /// the fields above). Defaults to a small-cache round-robin-placed
     /// machine so evictions and remote misses are frequent.
@@ -120,7 +133,11 @@ struct StressReport {
 StressProgram generate(const StressOptions& opt);
 
 /// Execute a program under the oracle; never throws on violations.
-StressReport execute(const StressProgram& prog, const StressOptions& opt);
+/// `syncObs` (optional) is attached to the Machine for the run, so the
+/// race analyzer can observe the same deterministic execution the
+/// oracle checks.
+StressReport execute(const StressProgram& prog, const StressOptions& opt,
+                     sim::SyncObserver* syncObs = nullptr);
 
 /// generate() + execute().
 StressReport runStress(const StressOptions& opt);

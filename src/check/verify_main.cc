@@ -16,16 +16,30 @@
  *       app. --check diffs against a committed baseline (default
  *       tests/golden/metrics-v1.json); --bless rewrites it.
  *
+ *   ccnuma_verify races [--app=NAME|--all] [--procs=P] [--seed=N]
+ *                       [--seeds=K] [--ops=N] [--mutate] [--json=FILE]
+ *       Happens-before race analysis (ccnuma::analyze). Default /
+ *       --all: run every registered app at its golden size under the
+ *       race detector and expect zero races; --app restricts to one.
+ *       --mutate instead runs disciplined stress programs first clean
+ *       (must be race-free) and then under the DropLockAcquire
+ *       protocol mutation (must race), shrinking the racy program to a
+ *       minimal witness — the detector's end-to-end self-test.
+ *       --json dumps per-app detector statistics via core::MetricsSink.
+ *
  * Exit status: 0 = verified, 1 = verification failure, 2 = usage.
  */
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
+#include "analyze/sweep.hh"
 #include "check/golden.hh"
 #include "check/shrink.hh"
 #include "check/stress.hh"
 #include "core/cli.hh"
+#include "core/metrics.hh"
 
 namespace {
 
@@ -35,7 +49,10 @@ constexpr const char* kUsage =
     "usage: ccnuma_verify stress [--seed=N] [--seeds=K] [--procs=P]\n"
     "                            [--ops=N] [--shrink] [--mutate]\n"
     "       ccnuma_verify golden [--procs=P] [--bless]\n"
-    "                            [--out=FILE|--check=FILE]\n";
+    "                            [--out=FILE|--check=FILE]\n"
+    "       ccnuma_verify races  [--app=NAME|--all] [--procs=P]\n"
+    "                            [--seed=N] [--seeds=K] [--ops=N]\n"
+    "                            [--mutate] [--json=FILE]\n";
 
 std::string
 defaultGoldenPath()
@@ -202,6 +219,142 @@ runGoldenCmd(core::cli::Options& opt)
     return 1;
 }
 
+void
+printRaceApp(const analyze::AppRaceResult& r)
+{
+    std::printf("%-24s %9llu mem ops, %7llu sync ops, %6llu shadow "
+                "locations, %s\n",
+                r.app.c_str(),
+                static_cast<unsigned long long>(r.stats.memOps),
+                static_cast<unsigned long long>(r.stats.syncOps),
+                static_cast<unsigned long long>(r.stats.shadowLocations),
+                r.races.empty() ? "race-free" : "RACES");
+    for (const analyze::Race& race : r.races)
+        std::printf("  %s\n", race.format().c_str());
+}
+
+int
+runRaceMutateCmd(std::uint64_t seed0, std::uint64_t seeds,
+                 std::uint64_t procs, std::uint64_t ops)
+{
+#ifndef CCNUMA_CHECK_MUTATE
+    (void)seed0;
+    (void)seeds;
+    (void)procs;
+    (void)ops;
+    std::fprintf(stderr, "mutation hooks not compiled in "
+                         "(build with -DCCNUMA_CHECK_MUTATE=ON)\n");
+    return 2;
+#else
+    std::uint64_t undetected = 0;
+    for (std::uint64_t i = 0; i < seeds; ++i) {
+        check::StressOptions o = analyze::raceStressOptions(seed0 + i);
+        o.procs = static_cast<int>(procs);
+        o.opsPerProc = static_cast<int>(ops);
+        const check::StressProgram prog = check::generate(o);
+
+        // Clean run first: a disciplined program must analyze race-free
+        // (otherwise the detector has false positives and a detection
+        // below would prove nothing).
+        const analyze::RaceStressResult clean =
+            analyze::raceExecute(prog, o);
+        if (clean.report.failed) {
+            std::fprintf(stderr,
+                         "seed %llu: FALSE POSITIVE on the "
+                         "unmutated program: %s\n",
+                         static_cast<unsigned long long>(o.seed),
+                         clean.report.message.c_str());
+            ++undetected;
+            continue;
+        }
+
+        o.mutation = sim::CheckMutation::DropLockAcquire;
+        const analyze::RaceStressResult broken =
+            analyze::raceExecute(prog, o);
+        if (!broken.report.failed) {
+            std::fprintf(stderr,
+                         "seed %llu: DropLockAcquire UNDETECTED\n",
+                         static_cast<unsigned long long>(o.seed));
+            ++undetected;
+            continue;
+        }
+        const check::ShrinkResult sh = analyze::shrinkRace(prog, o);
+        std::printf("seed %llu: mutation caught (%llu races); shrunk "
+                    "witness %llu ops (from %llu, %d runs)\n",
+                    static_cast<unsigned long long>(o.seed),
+                    static_cast<unsigned long long>(
+                        broken.stats.racesFound),
+                    static_cast<unsigned long long>(sh.opsAfter),
+                    static_cast<unsigned long long>(sh.opsBefore),
+                    sh.runs);
+        std::printf("%s", check::formatWitness(sh.program).c_str());
+        std::printf("  witness race: %s\n",
+                    sh.report.message.c_str());
+    }
+    if (undetected == 0) {
+        std::printf("race detector self-test passed on %llu seed(s)\n",
+                    static_cast<unsigned long long>(seeds));
+        return 0;
+    }
+    return 1;
+#endif
+}
+
+int
+runRacesCmd(core::cli::Options& opt)
+{
+    std::uint64_t procs = 4;
+    std::uint64_t seeds = 1;
+    std::uint64_t ops = 250;
+    if (!takeU64(opt, "procs", procs) || !takeU64(opt, "seeds", seeds) ||
+        !takeU64(opt, "ops", ops))
+        return 2;
+    std::string appName;
+    const bool hasApp = opt.takeFlag("app", appName);
+    const bool all = opt.takeSwitch("all");
+    const bool mutate = opt.takeSwitch("mutate");
+    if (!core::cli::warnUnknown(opt))
+        return 2;
+    if (hasApp && all) {
+        std::fprintf(stderr, "--app and --all are exclusive\n");
+        return 2;
+    }
+
+    if (mutate)
+        return runRaceMutateCmd(opt.seed, seeds, procs, ops);
+
+    core::MetricsSink sink(opt.jsonFile);
+    std::vector<analyze::AppRaceResult> results;
+    if (hasApp) {
+        try {
+            results.push_back(
+                analyze::analyzeApp(appName, static_cast<int>(procs)));
+        } catch (const std::invalid_argument& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    } else {
+        results = analyze::analyzeAllApps(static_cast<int>(procs));
+    }
+
+    std::uint64_t racy = 0;
+    for (const analyze::AppRaceResult& r : results) {
+        printRaceApp(r);
+        analyze::emitMetrics(r, sink);
+        if (!r.races.empty())
+            ++racy;
+    }
+    if (!sink.write())
+        std::fprintf(stderr, "failed to write --json file\n");
+    if (racy == 0) {
+        std::printf("%zu app(s) race-free\n", results.size());
+        return 0;
+    }
+    std::fprintf(stderr, "%llu/%zu app(s) RACY\n",
+                 static_cast<unsigned long long>(racy), results.size());
+    return 1;
+}
+
 } // namespace
 
 int
@@ -217,6 +370,8 @@ main(int argc, char** argv)
         return runStressCmd(opt);
     if (cmd == "golden")
         return runGoldenCmd(opt);
+    if (cmd == "races")
+        return runRacesCmd(opt);
     std::fprintf(stderr, "unknown command '%s'\n%s", cmd.c_str(),
                  kUsage);
     return 2;

@@ -107,14 +107,14 @@ parse(int argc, char** argv)
 
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
-        if (const char* v = flagValue(arg, "trace"))
-            opt.traceFile = v;
-        else if (const char* v = flagValue(arg, "json"))
-            opt.jsonFile = v;
-        else if (const char* v = flagValue(arg, "jobs"))
-            setInt("--jobs", v, opt.jobs);
-        else if (const char* v = flagValue(arg, "seed"))
-            setU64("--seed", v, opt.seed);
+        if (const char* trace = flagValue(arg, "trace"))
+            opt.traceFile = trace;
+        else if (const char* json = flagValue(arg, "json"))
+            opt.jsonFile = json;
+        else if (const char* jobs = flagValue(arg, "jobs"))
+            setInt("--jobs", jobs, opt.jobs);
+        else if (const char* seed = flagValue(arg, "seed"))
+            setU64("--seed", seed, opt.seed);
         else if (std::strncmp(arg, "--", 2) == 0)
             opt.unknown.emplace_back(arg);
         else

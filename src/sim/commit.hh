@@ -14,11 +14,20 @@
  * by the fill/invalidate/downgrade/writeback callbacks, and checks that
  * every load observes the latest committed value.
  *
- * The hooks fire for the transactions prefetches run internally too
- * (their protocol actions are real even though the issuing processor
- * does not stall), but not for uncached at-memory fetch&op or for the
- * synchronization layer, which use pure latency models and never move
- * cached data.
+ * The hooks also fire for the transactions that prefetches run
+ * internally: a prefetch's protocol actions (fills, invalidations,
+ * writebacks) are real and move data, even though the issuing
+ * processor does not stall on them. They do NOT fire for uncached
+ * at-memory fetch&op or for the synchronization layer, which use pure
+ * latency models and never move cached data.
+ *
+ * The synchronization layer has its own observation surface,
+ * sim::SyncObserver (sync_observer.hh), whose callbacks are delivered
+ * consistently interleaved with this commit order: every memory hook a
+ * processor triggers before a synchronization operation is delivered
+ * before that operation's SyncObserver callback, and a lock grant is
+ * always delivered after the release it synchronizes with. See the
+ * sync_observer.hh file comment for the full ordering contract.
  *
  * When no observer is attached the cost is one null pointer test per
  * hook site.

@@ -81,6 +81,12 @@ enum class CheckMutation : std::uint8_t {
     None,             ///< Correct protocol (the only production value).
     SkipInvalidation, ///< Spare the first sharer of every invalidation
                       ///< fan-out, leaving it a stale cached copy.
+    DropLockAcquire,  ///< De-synchronize the program: lock acquires are
+                      ///< charged but never take the lock (no mutual
+                      ///< exclusion, no happens-before edges), and the
+                      ///< matching releases are no-ops. The race
+                      ///< analyzer (ccnuma::analyze) must catch the
+                      ///< resulting data races.
 };
 
 /**

@@ -156,6 +156,8 @@ Machine::barrierArrive(BarrierId b, Cpu& cpu)
         }
     }
     cpu.chargeSyncOp(op);
+    if (syncObs_)
+        syncObs_->onBarrierArrive(cpu.id(), b.idx, bs.episode);
 
     bs.arrivals.emplace_back(cpu.now(), cpu.id());
     if (static_cast<int>(bs.arrivals.size()) < bs.participants)
@@ -193,8 +195,11 @@ Machine::barrierArrive(BarrierId b, Cpu& cpu)
         }
         if (obs::kTracingCompiled && trace_)
             trace_->onBarrierPassed(p, w.now(), bs.line);
+        if (syncObs_)
+            syncObs_->onBarrierDepart(p, b.idx, bs.episode);
     }
     bs.arrivals.clear();
+    ++bs.episode;
     return true;
 }
 
@@ -208,9 +213,20 @@ Machine::lockAcquire(LockId l, Cpu& cpu)
     if (obs::kTracingCompiled && trace_)
         trace_->onLockAcquire(cpu.id(), cpu.now(), ls.line,
                               mem_.syncHomeOf(ls.line));
+#ifdef CCNUMA_CHECK_MUTATE
+    // Harness self-test (CheckMutation::DropLockAcquire): the acquire
+    // is charged and reported granted, but the lock is never taken —
+    // no mutual exclusion, no SyncObserver grant, no happens-before
+    // edge. The race analyzer must catch the resulting races. See
+    // sim/config.hh.
+    if (cfg_.check.mutation == CheckMutation::DropLockAcquire)
+        return true;
+#endif
     if (!ls.held) {
         ls.held = true;
         ls.owner = cpu.id();
+        if (syncObs_)
+            syncObs_->onLockAcquired(cpu.id(), l.idx);
         return true;
     }
     ls.waiters.emplace_back(cpu.id(), cpu.now());
@@ -221,10 +237,20 @@ void
 Machine::lockRelease(LockId l, Cpu& cpu)
 {
     LockState& ls = locks_.at(l.idx);
+#ifdef CCNUMA_CHECK_MUTATE
+    // The matching acquire was dropped (CheckMutation::DropLockAcquire):
+    // charge the releasing store but leave the never-taken lock alone.
+    if (cfg_.check.mutation == CheckMutation::DropLockAcquire) {
+        cpu.chargeSyncOp(syncRmwCost(cpu, ls.line, ls.lastHolder));
+        return;
+    }
+#endif
     assert(ls.held && ls.owner == cpu.id());
     // Releasing store on the lock line.
     const Cycles op = syncRmwCost(cpu, ls.line, ls.lastHolder);
     cpu.chargeSyncOp(op);
+    if (syncObs_)
+        syncObs_->onLockReleased(cpu.id(), l.idx);
     if (ls.waiters.empty()) {
         ls.held = false;
         ls.owner = kNoProc;
@@ -243,6 +269,10 @@ Machine::lockRelease(LockId l, Cpu& cpu)
     w.wakeAt(wake);
     if (cfg_.syncKind == SyncKind::LLSC)
         ls.lastHolder = next;
+    // The handoff is the release->acquire synchronization edge: the
+    // waiter's grant is delivered after this release's callback.
+    if (syncObs_)
+        syncObs_->onLockAcquired(next, l.idx);
     sched_.ready(next, w.now());
 }
 

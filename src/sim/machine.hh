@@ -21,6 +21,7 @@
 #include "sim/scheduler.hh"
 #include "sim/stats.hh"
 #include "sim/sync.hh"
+#include "sim/sync_observer.hh"
 #include "sim/task.hh"
 #include "sim/topology.hh"
 
@@ -76,6 +77,28 @@ class Machine
     /// cfg.trace enables nothing (also shared via RunResult::trace).
     const obs::Trace* trace() const { return trace_.get(); }
 
+    /**
+     * Attach (or detach with nullptr) a synchronization-and-memory
+     * observer (see sim/sync_observer.hh for the ordering contract).
+     * Attach before run(); the race analyzer in `ccnuma::analyze`
+     * builds its happens-before graph from these callbacks.
+     */
+    void
+    attachSyncObserver(SyncObserver* o)
+    {
+        syncObs_ = o;
+        mem_.attachSyncObserver(o);
+    }
+
+    /// Called by apps::TaskQueues when a steal succeeds (forwards the
+    /// happens-before steal edge to the attached SyncObserver).
+    void
+    noteTaskSteal(ProcId thief, ProcId victim)
+    {
+        if (syncObs_)
+            syncObs_->onTaskSteal(thief, victim);
+    }
+
     // ---- called by Cpu ----
     bool barrierArrive(BarrierId b, Cpu& cpu);
     bool lockAcquire(LockId l, Cpu& cpu);
@@ -94,6 +117,7 @@ class Machine
     std::deque<BarrierState> barriers_;
     std::deque<LockState> locks_;
     Addr nextAddr_ = 1u << 20; // leave page 0 unused
+    SyncObserver* syncObs_ = nullptr;
     bool ran_ = false;
     std::vector<ProcStats> statsView_;
     std::shared_ptr<obs::Trace> trace_;

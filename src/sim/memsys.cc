@@ -240,6 +240,10 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
             else
                 commit_->onLoad(p, line, DataSource::CacheHit, kNoProc);
         }
+        if (sync_ && !traceMuted_)
+            sync_->onMemOp(p, addr,
+                           inRmw_ ? MemOp::Rmw
+                                  : write ? MemOp::Store : MemOp::Load);
         return lat;
     }
 
@@ -295,6 +299,9 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
                                                inv_before));
         if (commit_)
             commit_->onStore(p, line);
+        if (sync_ && !traceMuted_)
+            sync_->onMemOp(p, addr,
+                           inRmw_ ? MemOp::Rmw : MemOp::Store);
         return lat;
     }
 
@@ -401,6 +408,10 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
         else
             commit_->onLoad(p, line, fill_src, fill_supplier);
     }
+    if (sync_ && !traceMuted_)
+        sync_->onMemOp(p, addr,
+                       inRmw_ ? MemOp::Rmw
+                              : write ? MemOp::Store : MemOp::Load);
     return lat + migration_stall;
 }
 
@@ -465,7 +476,10 @@ MemSys::llscRmw(ProcId p, Cycles now, Addr addr, ProcStats& st)
     // LL + compute + SC: a write access (exclusive ownership) plus a few
     // cycles; failed-SC retry storms are modelled by the callers'
     // contention on the lock line itself.
-    return access(p, now, addr, true, st) + 4;
+    inRmw_ = true;
+    const Cycles lat = access(p, now, addr, true, st) + 4;
+    inRmw_ = false;
+    return lat;
 }
 
 

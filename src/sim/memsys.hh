@@ -31,6 +31,7 @@
 #include "sim/directory.hh"
 #include "sim/pagetable.hh"
 #include "sim/stats.hh"
+#include "sim/sync_observer.hh"
 #include "sim/topology.hh"
 #include "sim/types.hh"
 
@@ -135,6 +136,16 @@ class MemSys
     void attachCommitObserver(CommitObserver* o) { commit_ = o; }
 
     /**
+     * Attach (or detach with nullptr) the byte-granular access stream
+     * of a SyncObserver (Machine::attachSyncObserver forwards here; the
+     * lock/barrier callbacks are the Machine's job). onMemOp fires at
+     * the same commit points as the CommitObserver load/store hooks,
+     * but skips prefetch-internal transactions, whose data the program
+     * never consumes. Costs one null test per hook site when detached.
+     */
+    void attachSyncObserver(SyncObserver* o) { sync_ = o; }
+
+    /**
      * A queued hardware resource (Hub, node memory, metarouter).
      *
      * `freeAt` is the FCFS completion frontier; `frontier` is the latest
@@ -184,9 +195,14 @@ class MemSys
     std::vector<ProcStats>* allStats_ = nullptr;
     obs::Trace* trace_ = nullptr;
     CommitObserver* commit_ = nullptr;
-    /// Suppresses hooks while prefetch() runs its inner transaction
-    /// (whose loads/hits are not folded into the issuing processor).
+    SyncObserver* sync_ = nullptr;
+    /// Suppresses obs tracing and SyncObserver hooks while prefetch()
+    /// runs its inner transaction (whose loads/hits are not folded into
+    /// the issuing processor; its data is never consumed).
     bool traceMuted_ = false;
+    /// True while llscRmw() runs its inner write access, so the
+    /// SyncObserver stream can tag it MemOp::Rmw (atomic).
+    bool inRmw_ = false;
 
     // Contention clocks.
     std::vector<Resource> hubFree_;

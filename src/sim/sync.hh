@@ -29,6 +29,8 @@ struct BarrierState {
     /// (arrival time after the arrival op, proc) of everyone arrived in
     /// this episode, including the eventual last arriver.
     std::vector<std::pair<Cycles, ProcId>> arrivals;
+    /// Completed release episodes (reported to sim::SyncObserver).
+    std::uint64_t episode = 0;
 };
 
 /** Internal state of one ticket lock. */

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Synchronization-and-memory observation hooks for execution analysis.
+ *
+ * The `ccnuma::check` harness sees the protocol's data movement through
+ * a CommitObserver (sim/commit.hh); that stream is line-granular and
+ * deliberately blind to the synchronization layer, whose pure latency
+ * models never move cached data. Race analysis (`ccnuma::analyze`)
+ * needs the complementary view: which *byte* each committed access
+ * touched, and which synchronization operations order those accesses.
+ * A SyncObserver attached to the Machine receives exactly that.
+ *
+ * Ordering guarantees (relative to commit order):
+ *  - onMemOp fires at the same points in MemSys::access where the
+ *    CommitObserver load/store hooks fire, so the two streams are
+ *    mutually consistent: the i-th onMemOp and the i-th demand-access
+ *    commit describe the same transaction. Transactions that prefetches
+ *    run internally are *excluded* here (their data is not consumed by
+ *    the program, so they cannot race), while the CommitObserver does
+ *    see them.
+ *  - onLockAcquired(p, l) fires only when the lock is actually granted
+ *    to `p` — at the acquire itself when the lock was free, or during
+ *    the releaser's onLockReleased handoff otherwise. A lock's grant
+ *    callback is therefore always delivered after the callback for the
+ *    release it synchronizes with, and after every onMemOp the previous
+ *    holder issued inside its critical section.
+ *  - onBarrierArrive fires per participant as it arrives (after all of
+ *    its pre-barrier onMemOps); the matching onBarrierDepart callbacks
+ *    for the whole episode fire together when the last participant
+ *    arrives, before any participant's post-barrier onMemOp.
+ *  - onTaskSteal fires while the thief holds the victim queue's lock,
+ *    i.e. between the thief's onLockAcquired and onLockReleased for
+ *    that lock.
+ *
+ * When no observer is attached the cost is one null pointer test per
+ * hook site.
+ */
+
+#ifndef CCNUMA_SIM_SYNC_OBSERVER_HH
+#define CCNUMA_SIM_SYNC_OBSERVER_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace ccnuma::sim {
+
+/** What kind of demand access an onMemOp callback describes. */
+enum class MemOp : std::uint8_t {
+    Load,  ///< Plain load (Cpu::read / readRange).
+    Store, ///< Plain store (Cpu::write / writeRange).
+    Rmw,   ///< LL-SC read-modify-write (atomic; races with nothing).
+};
+
+/**
+ * Observer of the byte-granular access stream and the synchronization
+ * events that order it. All callbacks are delivered in the machine's
+ * global commit order (see the file comment).
+ */
+class SyncObserver
+{
+  public:
+    virtual ~SyncObserver() = default;
+
+    /// A demand access by `p` to byte address `addr` committed.
+    virtual void onMemOp(ProcId p, Addr addr, MemOp kind) = 0;
+    /// Lock `lock` was granted to `p`.
+    virtual void onLockAcquired(ProcId p, int lock) = 0;
+    /// `p` released lock `lock`.
+    virtual void onLockReleased(ProcId p, int lock) = 0;
+    /// `p` arrived at barrier `barrier`'s episode `episode` (episodes
+    /// count completed releases of that barrier, starting at 0).
+    virtual void onBarrierArrive(ProcId p, int barrier,
+                                 std::uint64_t episode) = 0;
+    /// Barrier `barrier`'s episode `episode` released `p`.
+    virtual void onBarrierDepart(ProcId p, int barrier,
+                                 std::uint64_t episode) = 0;
+    /// `thief` stole work from `victim`'s task queue (delivered inside
+    /// the thief's critical section on the victim queue's lock).
+    virtual void onTaskSteal(ProcId thief, ProcId victim) = 0;
+};
+
+} // namespace ccnuma::sim
+
+#endif // CCNUMA_SIM_SYNC_OBSERVER_HH

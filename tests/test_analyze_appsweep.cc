@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Property test: every registered application variant, run at its
+ * golden-harness problem size with the happens-before race detector
+ * attached, is race-free. The apps model the paper's
+ * properly-synchronized programs, so any report here is either an app
+ * synchronization bug or a detector bug — both fail loudly, with the
+ * formatted race as the message.
+ *
+ * A second expectation pins determinism: two runs of the same app see
+ * bit-identical detector statistics (the simulator is single-threaded
+ * and seeded, so the observer callback stream replays exactly).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analyze/sweep.hh"
+#include "apps/registry.hh"
+
+using namespace ccnuma;
+
+class AppRaceSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AppRaceSweep, GoldenSizeRunIsRaceFree)
+{
+    const std::string name = GetParam();
+    const analyze::AppRaceResult r = analyze::analyzeApp(name);
+
+    EXPECT_TRUE(r.races.empty())
+        << name << ": " << r.races.front().format();
+    EXPECT_EQ(r.stats.racesFound, 0u) << name;
+    EXPECT_GT(r.stats.memOps, 0u) << name;
+    EXPECT_GT(r.time, 0u) << name;
+
+    const analyze::AppRaceResult again = analyze::analyzeApp(name);
+    EXPECT_EQ(r.time, again.time) << name;
+    EXPECT_EQ(r.stats.memOps, again.stats.memOps) << name;
+    EXPECT_EQ(r.stats.syncOps, again.stats.syncOps) << name;
+    EXPECT_EQ(r.stats.vcJoins, again.stats.vcJoins) << name;
+    EXPECT_EQ(r.stats.shadowLocations, again.stats.shadowLocations)
+        << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppRaceSweep,
+                         ::testing::ValuesIn(apps::listApps()),
+                         [](const auto& info) {
+                             std::string n = info.param;
+                             for (auto& ch : n)
+                                 if (ch == '-')
+                                     ch = '_';
+                             return n;
+                         });
