@@ -47,6 +47,38 @@ MetricsSink::addScalar(const std::string& label, const std::string& key,
     e.scalars.emplace_back(key, v);
 }
 
+void
+MetricsSink::addCount(const std::string& label, const std::string& key,
+                      std::uint64_t v)
+{
+    if (!enabled())
+        return;
+    Entry& e = entry(label);
+    for (auto& [k, old] : e.counts) {
+        if (k == key) {
+            old = v;
+            return;
+        }
+    }
+    e.counts.emplace_back(key, v);
+}
+
+void
+MetricsSink::addText(const std::string& label, const std::string& key,
+                     const std::string& v)
+{
+    if (!enabled())
+        return;
+    Entry& e = entry(label);
+    for (auto& [k, old] : e.texts) {
+        if (k == key) {
+            old = v;
+            return;
+        }
+    }
+    e.texts.emplace_back(key, v);
+}
+
 bool
 MetricsSink::write() const
 {
@@ -62,6 +94,10 @@ MetricsSink::write() const
     for (const Entry& e : entries_) {
         w.beginObject();
         w.field("label", e.label);
+        for (const auto& [k, v] : e.texts)
+            w.field(k, v);
+        for (const auto& [k, v] : e.counts)
+            w.field(k, v);
         for (const auto& [k, v] : e.scalars)
             w.field(k, v);
         if (e.hasRun) {

@@ -9,6 +9,7 @@
 #ifndef CCNUMA_CORE_METRICS_HH
 #define CCNUMA_CORE_METRICS_HH
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,6 +36,13 @@ class MetricsSink
     /// creating a scalar-only entry if none exists.
     void addScalar(const std::string& label, const std::string& key,
                    double v);
+    /// Attach an exact integer (cycle/op counts round-trip exactly,
+    /// unlike a double scalar).
+    void addCount(const std::string& label, const std::string& key,
+                  std::uint64_t v);
+    /// Attach a string (e.g. a git describe, a grid name).
+    void addText(const std::string& label, const std::string& key,
+                 const std::string& v);
 
     /// Write the JSON document; returns false on I/O error (or true
     /// without writing when disabled).
@@ -47,6 +55,8 @@ class MetricsSink
         sim::Cycles time = 0;
         sim::Breakdown breakdown;
         sim::ProcCounters totals;
+        std::vector<std::pair<std::string, std::string>> texts;
+        std::vector<std::pair<std::string, std::uint64_t>> counts;
         std::vector<std::pair<std::string, double>> scalars;
     };
     Entry& entry(const std::string& label);

@@ -32,22 +32,4 @@ measure(const sim::MachineConfig& cfg, const AppFactory& factory,
     return out;
 }
 
-Measurement
-measure(const sim::MachineConfig& cfg, const AppFactory& factory,
-        std::map<std::string, sim::Cycles>* seq_cache,
-        const std::string& seq_key)
-{
-    // Deprecated raw-map path: funnel through a throwaway typed cache,
-    // copying the map's entries in and the (single) new entry back out.
-    SeqBaselineCache cache;
-    if (seq_cache)
-        for (const auto& [k, v] : *seq_cache)
-            cache.insert(k, v);
-    const Measurement out =
-        measure(cfg, factory, seq_cache ? &cache : nullptr, seq_key);
-    if (seq_cache && !seq_key.empty())
-        (*seq_cache)[seq_key] = out.seqTime;
-    return out;
-}
-
 } // namespace ccnuma::core

@@ -14,7 +14,6 @@
 #define CCNUMA_CORE_STUDY_HH
 
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -60,18 +59,6 @@ Measurement measure(const sim::MachineConfig& cfg,
                     const AppFactory& factory,
                     SeqBaselineCache* seq_cache = nullptr,
                     const std::string& seq_key = "");
-
-/**
- * Deprecated shim for the pre-StudyRunner signature. The raw-map cache
- * is neither thread-safe nor single-flight; migrate to the
- * SeqBaselineCache overload. Removed after one release.
- */
-[[deprecated("pass a core::SeqBaselineCache instead of a raw "
-             "std::map cache")]]
-Measurement measure(const sim::MachineConfig& cfg,
-                    const AppFactory& factory,
-                    std::map<std::string, sim::Cycles>* seq_cache,
-                    const std::string& seq_key);
 
 /// The paper's "scaling well" threshold: 60% parallel efficiency.
 inline constexpr double kGoodEfficiency = 0.60;

@@ -25,81 +25,11 @@ Cache::Cache(std::uint64_t bytes, int assoc, std::uint32_t line_bytes)
 {
     if (sets_ == 0 || (sets_ & (sets_ - 1)) != 0)
         throw std::invalid_argument("cache set count must be a power of 2");
-    ways_.resize(sets_ * assoc_);
-}
-
-Cache::Way*
-Cache::find(std::uint64_t line)
-{
-    Way* base = &ways_[setIndex(line) * assoc_];
-    for (int w = 0; w < assoc_; ++w)
-        if (base[w].state != LineState::Invalid && base[w].line == line)
-            return &base[w];
-    return nullptr;
-}
-
-const Cache::Way*
-Cache::find(std::uint64_t line) const
-{
-    const Way* base = &ways_[setIndex(line) * assoc_];
-    for (int w = 0; w < assoc_; ++w)
-        if (base[w].state != LineState::Invalid && base[w].line == line)
-            return &base[w];
-    return nullptr;
-}
-
-CacheResult
-Cache::access(Addr addr, bool is_write)
-{
-    const std::uint64_t line = lineOf(addr);
-    ++useClock_;
-    if (Way* w = find(line)) {
-        w->lastUse = useClock_;
-        CacheResult r;
-        r.hit = true;
-        if (is_write && w->state == LineState::Shared) {
-            r.upgrade = true;
-            w->state = LineState::Dirty;
-        }
-        return r;
-    }
-    return install(addr, is_write ? LineState::Dirty : LineState::Shared);
-}
-
-CacheResult
-Cache::install(Addr addr, LineState st)
-{
-    assert(st != LineState::Invalid);
-    const std::uint64_t line = lineOf(addr);
-    ++useClock_;
-    Way* base = &ways_[setIndex(line) * assoc_];
-    if (Way* w = find(line)) {
-        // Prefetch raced with demand fetch or repeated install.
-        w->lastUse = useClock_;
-        if (st == LineState::Dirty)
-            w->state = LineState::Dirty;
-        CacheResult r;
-        r.hit = true;
-        return r;
-    }
-    Way* victim = &base[0];
-    for (int w = 0; w < assoc_; ++w) {
-        if (base[w].state == LineState::Invalid) {
-            victim = &base[w];
-            break;
-        }
-        if (base[w].lastUse < victim->lastUse)
-            victim = &base[w];
-    }
-    CacheResult r;
-    if (victim->state != LineState::Invalid) {
-        r.victim = victim->line << lineShift_;
-        r.victimState = victim->state;
-    }
-    victim->line = line;
-    victim->state = st;
-    victim->lastUse = useClock_;
-    return r;
+    ways_.reset(static_cast<Way*>(
+        std::calloc(sets_ * static_cast<std::uint64_t>(assoc_),
+                    sizeof(Way))));
+    if (!ways_)
+        throw std::bad_alloc();
 }
 
 LineState
@@ -132,8 +62,8 @@ std::uint64_t
 Cache::residentLines() const
 {
     std::uint64_t n = 0;
-    for (const Way& w : ways_)
-        if (w.state != LineState::Invalid)
+    for (std::uint64_t i = 0; i < sets_ * assoc_; ++i)
+        if (ways_[i].state != LineState::Invalid)
             ++n;
     return n;
 }
@@ -141,8 +71,8 @@ Cache::residentLines() const
 void
 Cache::reset()
 {
-    for (Way& w : ways_)
-        w.state = LineState::Invalid;
+    for (std::uint64_t i = 0; i < sets_ * assoc_; ++i)
+        ways_[i].state = LineState::Invalid;
     useClock_ = 0;
 }
 

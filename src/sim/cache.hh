@@ -11,8 +11,10 @@
 #ifndef CCNUMA_SIM_CACHE_HH
 #define CCNUMA_SIM_CACHE_HH
 
+#include <cassert>
 #include <cstdint>
-#include <vector>
+#include <cstdlib>
+#include <memory>
 
 #include "sim/types.hh"
 
@@ -47,7 +49,10 @@ class Cache
      */
     Cache(std::uint64_t bytes, int assoc, std::uint32_t line_bytes);
 
-    /// Look up a line for reading; allocates (in `Shared` state) on miss.
+    /// Look up a line; allocates (Shared on read, Dirty on write) on
+    /// miss. Defined inline below: the lookup and victim scan are fused
+    /// into one pass over the set, and the whole path inlines into
+    /// MemSys::access — together the hottest loop of the simulator.
     CacheResult access(Addr addr, bool is_write);
 
     /// Probe without side effects.
@@ -77,9 +82,11 @@ class Cache
     void
     forEachLine(Fn&& fn) const
     {
-        for (const Way& w : ways_)
+        for (std::uint64_t i = 0; i < sets_ * assoc_; ++i) {
+            const Way& w = ways_[i];
             if (w.state != LineState::Invalid)
                 fn(w.line << lineShift_, w.state);
+        }
     }
 
     /// Drop every line, as if by a full flush; no writebacks are modelled
@@ -87,25 +94,136 @@ class Cache
     void reset();
 
   private:
+    /// Trivial, and meaningful when all-zero (LineState::Invalid == 0):
+    /// the backing array comes from calloc, so a freshly built cache
+    /// costs no page-touching — the kernel's zero pages fault in only
+    /// for the sets a run actually reaches. (A 4 MB L2 at 128
+    /// processors is tens of MB of Way state per machine; small runs
+    /// touch a sliver of it.)
     struct Way {
-        std::uint64_t line = 0;
-        LineState state = LineState::Invalid;
-        std::uint32_t lastUse = 0;
+        std::uint64_t line;
+        LineState state;
+        std::uint32_t lastUse;
+    };
+    struct WayFree {
+        void operator()(Way* p) const { std::free(p); }
     };
 
     std::uint64_t setIndex(std::uint64_t line) const
     {
         return line & (sets_ - 1);
     }
-    Way* find(std::uint64_t line);
-    const Way* find(std::uint64_t line) const;
+
+    Way*
+    find(std::uint64_t line)
+    {
+        Way* base = &ways_[setIndex(line) * assoc_];
+        for (int w = 0; w < assoc_; ++w)
+            if (base[w].state != LineState::Invalid &&
+                base[w].line == line)
+                return &base[w];
+        return nullptr;
+    }
+    const Way*
+    find(std::uint64_t line) const
+    {
+        return const_cast<Cache*>(this)->find(line);
+    }
 
     int lineShift_;
     std::uint64_t sets_;
     int assoc_;
     std::uint32_t useClock_ = 0;
-    std::vector<Way> ways_; ///< sets_ * assoc_, set-major.
+    std::unique_ptr<Way[], WayFree> ways_; ///< sets_*assoc_, set-major.
+
+    /// One pass over a set: returns the matching way via `hit`, or
+    /// leaves `hit` null and returns the fill victim (first invalid
+    /// way if any, else least-recently-used — identical choice to a
+    /// separate find-then-scan).
+    Way*
+    scanSet(std::uint64_t line, Way*& hit)
+    {
+        Way* base = &ways_[setIndex(line) * assoc_];
+        Way* victim = base;
+        for (int w = 0; w < assoc_; ++w) {
+            Way& cand = base[w];
+            if (cand.state == LineState::Invalid) {
+                if (victim->state != LineState::Invalid)
+                    victim = &cand;
+                continue;
+            }
+            if (cand.line == line) {
+                hit = &cand;
+                return victim;
+            }
+            if (victim->state != LineState::Invalid &&
+                cand.lastUse < victim->lastUse)
+                victim = &cand;
+        }
+        hit = nullptr;
+        return victim;
+    }
 };
+
+inline CacheResult
+Cache::access(Addr addr, bool is_write)
+{
+    const std::uint64_t line = lineOf(addr);
+    ++useClock_;
+    Way* hit = nullptr;
+    Way* victim = scanSet(line, hit);
+    if (hit) {
+        hit->lastUse = useClock_;
+        CacheResult r;
+        r.hit = true;
+        if (is_write && hit->state == LineState::Shared) {
+            r.upgrade = true;
+            hit->state = LineState::Dirty;
+        }
+        return r;
+    }
+    // Miss: fill into the victim. The second tick keeps lastUse values
+    // identical to the historical access()->install() pair, so LRU
+    // decisions (and thus every simulated metric) are unchanged.
+    ++useClock_;
+    CacheResult r;
+    if (victim->state != LineState::Invalid) {
+        r.victim = victim->line << lineShift_;
+        r.victimState = victim->state;
+    }
+    victim->line = line;
+    victim->state = is_write ? LineState::Dirty : LineState::Shared;
+    victim->lastUse = useClock_;
+    return r;
+}
+
+inline CacheResult
+Cache::install(Addr addr, LineState st)
+{
+    assert(st != LineState::Invalid);
+    const std::uint64_t line = lineOf(addr);
+    ++useClock_;
+    Way* hit = nullptr;
+    Way* victim = scanSet(line, hit);
+    if (hit) {
+        // Prefetch raced with demand fetch or repeated install.
+        hit->lastUse = useClock_;
+        if (st == LineState::Dirty)
+            hit->state = LineState::Dirty;
+        CacheResult r;
+        r.hit = true;
+        return r;
+    }
+    CacheResult r;
+    if (victim->state != LineState::Invalid) {
+        r.victim = victim->line << lineShift_;
+        r.victimState = victim->state;
+    }
+    victim->line = line;
+    victim->state = st;
+    victim->lastUse = useClock_;
+    return r;
+}
 
 } // namespace ccnuma::sim
 

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Bucketed calendar queue for the scheduler's ready list.
+ *
+ * The scheduler's workload is a pathological fit for a binary heap:
+ * every push is within one quantum of the last pop (a processor either
+ * yields just past its quantum or is woken at a sync time that cannot
+ * precede the waker's current time), so the heap pays O(log n) sift
+ * costs to maintain a total order over keys that are already almost
+ * sorted. A calendar queue exploits the quantum-bounded disorder: time
+ * is divided into power-of-two-width buckets arranged in a ring; a
+ * push lands in its bucket in O(1), and a pop scans the (short) bucket
+ * under the cursor for the minimum (time, seq) event.
+ *
+ * Pop order is EXACTLY the (time, seq) order a min-heap would produce
+ * as long as no event is pushed with a time earlier than the last
+ * popped event's bucket — which the scheduler guarantees (see above).
+ * An event pushed into the past anyway is clamped into the cursor
+ * bucket: it still pops before anything later, only its order among
+ * the cursor bucket's events degrades to (time, seq) within that
+ * bucket — bounded by one bucket width, far below the quantum-bounded
+ * disorder the simulation already tolerates.
+ *
+ * Events more than a ring span ahead (sync wake-ups of far-behind
+ * processors) overflow into a small min-heap that is drained back into
+ * the ring as the cursor advances.
+ */
+
+#ifndef CCNUMA_SIM_CALQUEUE_HH
+#define CCNUMA_SIM_CALQUEUE_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ccnuma::sim {
+
+/** One scheduler event: processor `p` runnable at `time`. */
+struct SchedEvent {
+    Cycles time;
+    std::uint64_t seq; ///< Push order; ties on `time` pop FIFO.
+    ProcId p;
+};
+
+/** Orders a std::priority_queue as a min-heap on (time, seq). */
+struct SchedEventAfter {
+    bool
+    operator()(const SchedEvent& a, const SchedEvent& b) const
+    {
+        return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+};
+
+class CalendarQueue
+{
+  public:
+    explicit CalendarQueue(Cycles quantum = 500) { setSpan(quantum); }
+
+    /// Size buckets from the scheduler quantum. Only valid while
+    /// empty (the ring is not re-binned).
+    void
+    setSpan(Cycles quantum)
+    {
+        assert(size_ == 0);
+        // ~16 buckets per quantum spreads one quantum's worth of
+        // events thinly; the ring then spans several quanta before
+        // anything overflows.
+        Cycles width = quantum / 16;
+        if (width < 64)
+            width = 64;
+        shift_ = std::bit_width(width) - 1; // floor log2 -> pow2 width
+        buckets_.assign(kBuckets, {});
+        curIdx_ = 0;
+    }
+
+    void
+    push(SchedEvent e)
+    {
+        ++size_;
+        std::uint64_t idx = e.time >> shift_;
+        if (idx < curIdx_)
+            idx = curIdx_; // past event: clamp into the cursor bucket
+        if (idx - curIdx_ >= kBuckets) {
+            overflow_.push(e);
+            return;
+        }
+        buckets_[idx & kMask].push_back(e);
+        ++ringSize_;
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    /// Remove and return the minimum-(time, seq) event.
+    /// Precondition: !empty().
+    SchedEvent
+    pop()
+    {
+        assert(size_ > 0);
+        if (ringSize_ == 0) {
+            // Everything lives in the overflow heap: jump the cursor
+            // to the earliest event's bucket instead of crawling.
+            const std::uint64_t idx = overflow_.top().time >> shift_;
+            if (idx > curIdx_)
+                curIdx_ = idx;
+            drainOverflow();
+        }
+        for (;;) {
+            auto& b = buckets_[curIdx_ & kMask];
+            int best = -1;
+            for (int i = 0; i < static_cast<int>(b.size()); ++i) {
+                const SchedEvent& e = b[i];
+                if ((e.time >> shift_) > curIdx_)
+                    continue; // a later ring revolution's event
+                if (best < 0 || e.time < b[best].time ||
+                    (e.time == b[best].time && e.seq < b[best].seq))
+                    best = i;
+            }
+            if (best >= 0) {
+                const SchedEvent out = b[best];
+                b[best] = b.back();
+                b.pop_back();
+                --ringSize_;
+                --size_;
+                return out;
+            }
+            ++curIdx_;
+            drainOverflow();
+        }
+    }
+
+  private:
+    void
+    drainOverflow()
+    {
+        while (!overflow_.empty()) {
+            const SchedEvent& t = overflow_.top();
+            if ((t.time >> shift_) - curIdx_ >= kBuckets)
+                break;
+            buckets_[(t.time >> shift_) & kMask].push_back(t);
+            overflow_.pop();
+            ++ringSize_;
+        }
+    }
+
+    static constexpr std::uint64_t kBuckets = 64;
+    static constexpr std::uint64_t kMask = kBuckets - 1;
+
+    std::vector<std::vector<SchedEvent>> buckets_;
+    std::priority_queue<SchedEvent, std::vector<SchedEvent>,
+                        SchedEventAfter>
+        overflow_;
+    std::uint64_t curIdx_ = 0;  ///< Absolute bucket index of the cursor.
+    unsigned shift_ = 6;        ///< log2(bucket width in cycles).
+    std::size_t ringSize_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace ccnuma::sim
+
+#endif // CCNUMA_SIM_CALQUEUE_HH

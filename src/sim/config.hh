@@ -100,6 +100,15 @@ struct CheckConfig {
     std::uint64_t validateEvery = 0;
     /// Deliberately broken protocol transition (see CheckMutation).
     CheckMutation mutation = CheckMutation::None;
+    /// Mirror every directory operation into a reference
+    /// std::unordered_map and fail validateCoherence() on divergence —
+    /// the differential-test seam for the flat sharded directory.
+    /// Costs one map operation per directory operation when on.
+    bool shadowDirectory = false;
+    /// Drive the scheduler from the legacy std::priority_queue instead
+    /// of the calendar queue (cycle-identity test seam: both orders
+    /// must produce bit-identical runs).
+    bool legacySchedulerQueue = false;
 };
 
 /**

@@ -2,15 +2,32 @@
  * @file
  * Full-bit-vector coherence directory (one logical entry per cache line,
  * materialized on demand), as kept at each Origin2000 home Hub.
+ *
+ * Storage is sharded per home node, one open-addressing flat hash per
+ * shard (see flat_hash.hh). A line's shard is its *static* page-
+ * interleaved home — a pure function of the address — so the mapping
+ * stays stable even when dynamic page migration moves a page's actual
+ * home node mid-run. Sharding keeps each table small and its probe
+ * windows dense, which is where the flat layout's cache behaviour wins
+ * over one big node-based map.
+ *
+ * Reference stability: lookup() returns a reference into a flat table,
+ * which is invalidated by any later insert (rehash) or drop (backward
+ * shift). Callers must not hold an entry reference across other
+ * Directory calls that may mutate the same shard.
  */
 
 #ifndef CCNUMA_SIM_DIRECTORY_HH
 #define CCNUMA_SIM_DIRECTORY_HH
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "sim/flat_hash.hh"
 #include "sim/types.hh"
 
 namespace ccnuma::sim {
@@ -48,6 +65,8 @@ class SharerSet
         }
     }
 
+    bool operator==(const SharerSet&) const = default;
+
   private:
     std::array<std::uint64_t, kMaxProcs / 64> bits_{};
 };
@@ -64,43 +83,117 @@ struct DirEntry {
     DirState state = DirState::Uncached;
     ProcId owner = kNoProc;
     SharerSet sharers;
+
+    bool operator==(const DirEntry&) const = default;
 };
 
 /**
- * The machine-wide directory. Entries live in a hash map keyed by line
- * address; lines never cached have no entry (implicitly Uncached).
+ * The machine-wide directory. Entries live in per-home-shard flat hash
+ * tables keyed by line address; lines never cached have no entry
+ * (implicitly Uncached).
+ *
+ * Test seam: enableShadow(true) mirrors every operation into a
+ * reference std::unordered_map (the pre-optimization representation);
+ * shadowDiff() reports the first divergence. Because callers mutate
+ * the reference lookup() hands out, the mirror copy is deferred to the
+ * next Directory call (at which point the caller-side mutations are
+ * complete and the slot has not yet moved).
  */
 class Directory
 {
   public:
-    Directory() { entries_.reserve(1u << 16); }
+    /// @param numNodes home nodes to shard across (rounded up to a
+    ///        power of two internally)
+    /// @param pageBytes machine page size (shard key granularity — one
+    ///        page's lines share a shard, mirroring page homing)
+    explicit Directory(int numNodes = 1,
+                       std::uint32_t pageBytes = 16u << 10);
 
-    /// Entry for a line, creating it Uncached if absent.
-    DirEntry& lookup(LineAddr line) { return entries_[line]; }
-
-    /// Entry if present, else nullptr (no allocation).
-    const DirEntry* probe(LineAddr line) const
+    /// Entry for a line, creating it Uncached if absent. The reference
+    /// is invalidated by any later lookup() of an absent line or
+    /// drop() in the same shard.
+    DirEntry&
+    lookup(LineAddr line)
     {
-        auto it = entries_.find(line);
-        return it == entries_.end() ? nullptr : &it->second;
+        if (!shadowOn_) [[likely]]
+            return shards_[shardOf(line)][line];
+        return shadowLookup(line);
     }
 
-    /// Drop an entry once a line returns to Uncached, bounding map growth.
-    void drop(LineAddr line) { entries_.erase(line); }
+    /// Entry if present, else nullptr (no allocation).
+    const DirEntry*
+    probe(LineAddr line) const
+    {
+        if (shadowOn_)
+            flushShadow();
+        return shards_[shardOf(line)].find(line);
+    }
 
-    std::size_t size() const { return entries_.size(); }
+    /// Drop an entry once a line returns to Uncached, bounding growth.
+    void
+    drop(LineAddr line)
+    {
+        if (shadowOn_) {
+            flushShadow();
+            shadow_.erase(line);
+        }
+        shards_[shardOf(line)].erase(line);
+    }
+
+    std::size_t
+    size() const
+    {
+        std::size_t n = 0;
+        for (const auto& s : shards_)
+            n += s.size();
+        return n;
+    }
 
     /// Call fn(lineAddr, entry) for every entry (validation/tests).
     template <typename Fn>
     void
     forEach(Fn&& fn) const
     {
-        for (const auto& [line, e] : entries_)
-            fn(line, e);
+        if (shadowOn_)
+            flushShadow();
+        for (const auto& s : shards_)
+            s.forEach(fn);
     }
 
+    // ---- Differential-test seam ----
+
+    /// Mirror every operation into a reference std::unordered_map.
+    /// Enable before first use (entries already present are not
+    /// back-filled).
+    void enableShadow(bool on) { shadowOn_ = on; }
+    bool shadowEnabled() const { return shadowOn_; }
+
+    /// Compare the flat storage against the reference map; empty string
+    /// when identical, else a description of the first divergence.
+    std::string shadowDiff() const;
+
   private:
-    std::unordered_map<LineAddr, DirEntry> entries_;
+    std::uint32_t
+    shardOf(LineAddr line) const
+    {
+        return static_cast<std::uint32_t>(line >> pageShift_) &
+               shardMask_;
+    }
+
+    DirEntry& shadowLookup(LineAddr line);
+    void flushShadow() const;
+
+    std::vector<FlatHashMap<DirEntry>> shards_;
+    std::uint32_t shardMask_ = 0;
+    std::uint32_t pageShift_ = 14;
+
+    // Shadow state is logically part of validation, not simulation;
+    // mutable so const readers (probe/forEach/shadowDiff) can flush
+    // the one deferred mirror write first.
+    bool shadowOn_ = false;
+    mutable std::unordered_map<LineAddr, DirEntry> shadow_;
+    mutable LineAddr pendingLine_ = 0;
+    mutable const DirEntry* pendingEntry_ = nullptr;
 };
 
 } // namespace ccnuma::sim

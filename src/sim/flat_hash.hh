@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Open-addressing hash map from LineAddr to V for the simulator's hot
+ * paths (directory entries, pending prefetch fills).
+ *
+ * Design, tuned for the access patterns of MemSys:
+ *  - linear probing over one contiguous slot array: a lookup is one
+ *    multiply, one shift and a short scan of adjacent memory, instead
+ *    of std::unordered_map's bucket indirection + node chase;
+ *  - power-of-two capacity with Fibonacci (multiplicative) hashing, so
+ *    the "bucket" index is a shift rather than a modulo by a prime;
+ *  - backward-shift deletion: erase re-packs the probe window instead
+ *    of leaving tombstones, so long-running churn (lines dropping to
+ *    Uncached and returning) cannot degrade probe lengths.
+ *
+ * The behavioural contract difference from std::unordered_map that
+ * callers MUST respect: references returned by operator[]/find() are
+ * invalidated by any subsequent insert or erase (rehash moves slots;
+ * backward-shift moves neighbours). See MemSys::access(), which
+ * re-looks-up the missing line only after victim handling.
+ */
+
+#ifndef CCNUMA_SIM_FLAT_HASH_HH
+#define CCNUMA_SIM_FLAT_HASH_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ccnuma::sim {
+
+template <typename V>
+class FlatHashMap
+{
+  public:
+    explicit FlatHashMap(std::size_t initial_capacity = 64)
+    {
+        rehash(std::bit_ceil(
+            initial_capacity < 8 ? std::size_t{8} : initial_capacity));
+    }
+
+    /// Value for `key`, default-constructed if absent. The reference is
+    /// valid only until the next insert or erase.
+    V&
+    operator[](LineAddr key)
+    {
+        std::size_t i = indexOf(key);
+        while (used_[i]) {
+            if (slots_[i].key == key)
+                return slots_[i].value;
+            i = (i + 1) & mask_;
+        }
+        // Not present: grow first if needed (load factor 0.7), then
+        // claim the slot.
+        if ((size_ + 1) * 10 > capacity_ * 7) {
+            rehash(capacity_ * 2);
+            i = indexOf(key);
+            while (used_[i])
+                i = (i + 1) & mask_;
+        }
+        used_[i] = 1;
+        slots_[i].key = key;
+        slots_[i].value = V{};
+        ++size_;
+        return slots_[i].value;
+    }
+
+    /// Pointer to the value, or nullptr; valid until the next mutation.
+    V*
+    find(LineAddr key)
+    {
+        std::size_t i = indexOf(key);
+        while (used_[i]) {
+            if (slots_[i].key == key)
+                return &slots_[i].value;
+            i = (i + 1) & mask_;
+        }
+        return nullptr;
+    }
+    const V*
+    find(LineAddr key) const
+    {
+        return const_cast<FlatHashMap*>(this)->find(key);
+    }
+
+    /// Remove `key` if present (backward-shift, no tombstones).
+    bool
+    erase(LineAddr key)
+    {
+        std::size_t i = indexOf(key);
+        while (used_[i]) {
+            if (slots_[i].key == key) {
+                removeAt(i);
+                return true;
+            }
+            i = (i + 1) & mask_;
+        }
+        return false;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /// Call fn(key, value) for every entry, in unspecified order.
+    template <typename Fn>
+    void
+    forEach(Fn&& fn) const
+    {
+        for (std::size_t i = 0; i < capacity_; ++i)
+            if (used_[i])
+                fn(slots_[i].key, slots_[i].value);
+    }
+
+    void
+    reserve(std::size_t n)
+    {
+        if (n * 10 > capacity_ * 7)
+            rehash(std::bit_ceil(n * 10 / 7 + 1));
+    }
+
+  private:
+    struct Slot {
+        LineAddr key = 0;
+        V value{};
+    };
+
+    std::size_t
+    indexOf(LineAddr key) const
+    {
+        // Fibonacci hashing: the golden-ratio multiplier diffuses the
+        // low-entropy line addresses; the top bits index the table.
+        return static_cast<std::size_t>(
+            (key * 0x9E3779B97F4A7C15ull) >> shift_);
+    }
+
+    void
+    removeAt(std::size_t hole)
+    {
+        // Backward-shift: walk the probe chain after the hole; any
+        // element whose ideal slot is NOT cyclically inside (hole, j]
+        // may move back into the hole (it only ever probed past the
+        // hole because of a collision run that the hole now breaks).
+        std::size_t i = hole;
+        std::size_t j = i;
+        for (;;) {
+            j = (j + 1) & mask_;
+            if (!used_[j])
+                break;
+            const std::size_t k = indexOf(slots_[j].key);
+            const bool unmovable =
+                j > i ? (k > i && k <= j) : (k > i || k <= j);
+            if (unmovable)
+                continue;
+            slots_[i] = slots_[j];
+            i = j;
+        }
+        used_[i] = 0;
+        slots_[i] = Slot{};
+        --size_;
+    }
+
+    void
+    rehash(std::size_t new_capacity)
+    {
+        std::vector<Slot> old_slots = std::move(slots_);
+        std::vector<std::uint8_t> old_used = std::move(used_);
+        capacity_ = new_capacity;
+        mask_ = new_capacity - 1;
+        shift_ = 64 - std::countr_zero(new_capacity);
+        slots_.assign(capacity_, Slot{});
+        used_.assign(capacity_, 0);
+        for (std::size_t s = 0; s < old_slots.size(); ++s) {
+            if (!old_used[s])
+                continue;
+            std::size_t i = indexOf(old_slots[s].key);
+            while (used_[i])
+                i = (i + 1) & mask_;
+            used_[i] = 1;
+            slots_[i] = old_slots[s];
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::vector<std::uint8_t> used_;
+    std::size_t capacity_ = 0;
+    std::size_t mask_ = 0;
+    unsigned shift_ = 64;
+    std::size_t size_ = 0;
+};
+
+} // namespace ccnuma::sim
+
+#endif // CCNUMA_SIM_FLAT_HASH_HH

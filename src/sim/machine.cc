@@ -14,6 +14,7 @@ Machine::Machine(const MachineConfig& cfg)
     if (!err.empty())
         throw std::invalid_argument("bad MachineConfig: " + err);
     sched_.setQuantum(cfg_.quantum);
+    sched_.setLegacyQueue(cfg_.check.legacySchedulerQueue);
 }
 
 Addr

@@ -10,6 +10,7 @@ MemSys::MemSys(const MachineConfig& cfg, const Topology& topo)
     : cfg_(cfg),
       topo_(topo),
       pageTable_(cfg, topo.numNodes()),
+      dir_(topo.numNodes(), cfg.pageBytes),
       hubFree_(topo.numNodes()),
       memFree_(topo.numNodes()),
       metaFree_(std::max(1, topo.numMetaRouters())),
@@ -22,6 +23,7 @@ MemSys::MemSys(const MachineConfig& cfg, const Topology& topo)
             cfg.cacheBytes, cfg.cacheAssoc, cfg.lineBytes));
         procNode_[p] = topo.nodeOfProcess(p);
     }
+    dir_.enableShadow(cfg.check.shadowDirectory);
 }
 
 Cycles
@@ -219,16 +221,15 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
 
     if (res.hit && !res.upgrade) {
         Cycles lat = cfg_.l2HitCycles;
-        auto& pend = pendingFill_[p];
+        PendingFills& pend = pendingFill_[p];
         if (!pend.empty()) {
-            auto it = pend.find(line);
-            if (it != pend.end()) {
-                if (it->second > now)
-                    lat += it->second - now;
+            if (const Cycles* ready = pend.find(line)) {
+                if (*ready > now)
+                    lat += *ready - now;
                 ++st.c.prefetchesUseful;
                 if (traceOn())
                     trace_->onPrefetchUseful(p, now);
-                pend.erase(it);
+                pend.erase(line);
             }
         }
         ++st.c.l2Hits;
@@ -262,7 +263,6 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
             trace_->onPageMigration(p, now, addr, home, myNode);
     }
 
-    DirEntry& e = dir_.lookup(line);
     // `lat` accumulates the elapsed transaction latency; each stage's
     // resource sees arrival time now+lat, so queueing delays compose
     // sequentially instead of being double-counted.
@@ -270,6 +270,10 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
 
     if (res.hit && res.upgrade) {
         // Write hit on a Shared line: ownership upgrade at the home.
+        // No victim on this path, so the entry reference is safe to
+        // hold (nothing below inserts into or erases from the
+        // directory).
+        DirEntry& e = dir_.lookup(line);
         ++st.c.upgrades;
         const std::uint64_t inv_before = st.c.invalsSent;
         lat = cfg_.procCycles;
@@ -305,9 +309,13 @@ MemSys::access(ProcId p, Cycles now, Addr addr, bool write, ProcStats& st)
         return lat;
     }
 
-    // True miss: victim first, then the fill transaction.
+    // True miss: victim first, then the fill transaction. The line's
+    // directory entry is looked up only after the victim's entry has
+    // been updated/dropped: the flat directory invalidates references
+    // on insert/erase, so a reference obtained earlier would dangle.
     handleVictim(p, now, res, st);
     pendingFill_[p].erase(line);
+    DirEntry& e = dir_.lookup(line);
     obs::EventKind miss_kind = obs::EventKind::MissLocal;
     DataSource fill_src = DataSource::Memory;
     ProcId fill_supplier = kNoProc;
@@ -442,7 +450,7 @@ MemSys::prefetch(ProcId p, Cycles now, Addr addr, ProcStats& st)
         trace_->onPrefetchIssue(p, now, line,
                                 pageTable_.home(line, procNode_[p]),
                                 scratch.c);
-    pendingFill_[p][line] = now + lat;
+    pendingFill_[p].set(line, now + lat);
 }
 
 Cycles
@@ -486,6 +494,13 @@ MemSys::llscRmw(ProcId p, Cycles now, Addr addr, ProcStats& st)
 std::string
 MemSys::validateCoherence() const
 {
+    if (dir_.shadowEnabled()) {
+        // Differential seam: the flat sharded storage must mirror the
+        // reference std::unordered_map exactly, entry for entry.
+        std::string diff = dir_.shadowDiff();
+        if (!diff.empty())
+            return diff;
+    }
     std::ostringstream err;
     // Pass 1: every cached line is covered by a directory entry whose
     // state matches.

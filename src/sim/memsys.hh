@@ -21,7 +21,7 @@
 #define CCNUMA_SIM_MEMSYS_HH
 
 #include <memory>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "obs/trace.hh"
@@ -36,6 +36,54 @@
 #include "sim/types.hh"
 
 namespace ccnuma::sim {
+
+/**
+ * Per-processor pending prefetch fills: (line, ready time). A
+ * processor has at most a handful outstanding, so a flat vector with
+ * linear scan stays inside one or two cache lines — far cheaper than
+ * the hash map it replaced, whose empty() fast path alone cost a
+ * pointer chase.
+ */
+class PendingFills
+{
+  public:
+    bool empty() const { return v_.empty(); }
+
+    /// Ready time for `line`, or nullptr.
+    const Cycles*
+    find(LineAddr line) const
+    {
+        for (const auto& [l, t] : v_)
+            if (l == line)
+                return &t;
+        return nullptr;
+    }
+
+    void
+    erase(LineAddr line)
+    {
+        for (auto& kv : v_)
+            if (kv.first == line) {
+                kv = v_.back();
+                v_.pop_back();
+                return;
+            }
+    }
+
+    void
+    set(LineAddr line, Cycles ready)
+    {
+        for (auto& kv : v_)
+            if (kv.first == line) {
+                kv.second = ready;
+                return;
+            }
+        v_.emplace_back(line, ready);
+    }
+
+  private:
+    std::vector<std::pair<LineAddr, Cycles>> v_;
+};
 
 /** Classification of a completed access, for accounting. */
 enum class AccessClass : std::uint8_t {
@@ -210,7 +258,7 @@ class MemSys
     std::vector<Resource> metaFree_;
 
     // Pending prefetch completions: (proc, line) -> ready time.
-    std::vector<std::unordered_map<LineAddr, Cycles>> pendingFill_;
+    std::vector<PendingFills> pendingFill_;
 
     std::vector<NodeId> procNode_; ///< process -> node (via mapping)
 

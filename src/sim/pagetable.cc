@@ -1,33 +1,24 @@
 #include "sim/pagetable.hh"
 
+#include <bit>
 #include <cassert>
 
 namespace ccnuma::sim {
 
 PageTable::PageTable(const MachineConfig& cfg, int num_nodes)
     : pageBytes_(cfg.pageBytes),
+      pageShift_(std::countr_zero(cfg.pageBytes)),
       placement_(cfg.placement),
       migration_(cfg.pageMigration),
       migrationThreshold_(cfg.migrationThreshold),
       numNodes_(num_nodes)
 {
-}
-
-PageInfo&
-PageTable::info(Addr addr)
-{
-    const std::uint64_t pn = addr / pageBytes_;
-    if (pn >= pages_.size())
-        pages_.resize(pn + 1);
-    return pages_[pn];
+    assert((cfg.pageBytes & (cfg.pageBytes - 1)) == 0);
 }
 
 NodeId
-PageTable::home(Addr addr, NodeId toucher)
+PageTable::homeSlow(PageInfo& pi, NodeId toucher)
 {
-    PageInfo& pi = info(addr);
-    if (pi.home != kNoNode)
-        return pi.home;
     switch (placement_) {
       case Placement::FirstTouch:
       case Placement::Explicit:
@@ -72,10 +63,8 @@ PageTable::placeBlocked(Addr addr, std::uint64_t bytes,
 }
 
 bool
-PageTable::noteAccess(Addr addr, NodeId accessor)
+PageTable::noteAccessSlow(Addr addr, NodeId accessor)
 {
-    if (!migration_)
-        return false;
     PageInfo& pi = info(addr);
     if (pi.home == kNoNode || accessor == pi.home) {
         // Home-node access: decay the challenger's score.

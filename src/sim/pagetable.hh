@@ -43,8 +43,18 @@ class PageTable
     PageTable(const MachineConfig& cfg, int num_nodes);
 
     /// Home node of the page containing `addr`, homing it on first touch.
-    /// `toucher` is the node performing the access.
-    NodeId home(Addr addr, NodeId toucher);
+    /// `toucher` is the node performing the access. Inline: this sits on
+    /// the miss path of every access (with noteAccess below), where the
+    /// call and the by-division page computation it replaced were
+    /// measurable.
+    NodeId
+    home(Addr addr, NodeId toucher)
+    {
+        PageInfo& pi = info(addr);
+        if (pi.home != kNoNode) [[likely]]
+            return pi.home;
+        return homeSlow(pi, toucher);
+    }
 
     /// Explicitly home `bytes` starting at `addr` on `node` (the paper's
     /// "manual placement"). Overrides any policy for those pages.
@@ -57,18 +67,34 @@ class PageTable
 
     /// Record an access for the migration policy. Returns true when the
     /// page just migrated (caller charges MachineConfig::migrationCycles).
-    bool noteAccess(Addr addr, NodeId accessor);
+    bool
+    noteAccess(Addr addr, NodeId accessor)
+    {
+        if (!migration_) [[likely]]
+            return false;
+        return noteAccessSlow(addr, accessor);
+    }
 
-    std::uint64_t pageOf(Addr addr) const { return addr / pageBytes_; }
+    std::uint64_t pageOf(Addr addr) const { return addr >> pageShift_; }
     std::uint64_t totalMigrations() const { return totalMigrations_; }
 
     /// Number of pages currently homed at each node (placed pages only).
     std::vector<std::uint64_t> pagesPerNode() const;
 
   private:
-    PageInfo& info(Addr addr);
+    PageInfo&
+    info(Addr addr)
+    {
+        const std::uint64_t pn = addr >> pageShift_;
+        if (pn >= pages_.size()) [[unlikely]]
+            pages_.resize(pn + 1);
+        return pages_[pn];
+    }
+    NodeId homeSlow(PageInfo& pi, NodeId toucher);
+    bool noteAccessSlow(Addr addr, NodeId accessor);
 
     const std::uint32_t pageBytes_;
+    const int pageShift_;
     const Placement placement_;
     const bool migration_;
     const std::uint32_t migrationThreshold_;

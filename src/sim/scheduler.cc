@@ -7,26 +7,15 @@
 namespace ccnuma::sim {
 
 void
-Scheduler::ready(ProcId p, Cycles time)
-{
-    if (static_cast<std::size_t>(p) >= queuedTime_.size())
-        queuedTime_.resize(p + 1, 0);
-    state_[p] = State::Ready;
-    queuedTime_[p] = time;
-    pq_.push(Entry{time, seq_++, p});
-}
-
-void
 Scheduler::run()
 {
     const Cycles quantum = quantum_;
     while (live_ > 0) {
-        if (pq_.empty())
+        if (queueEmpty())
             throw std::runtime_error(
                 "simulator deadlock: processors blocked with no runnable "
                 "work (missing barrier participant or unreleased lock?)");
-        const Entry e = pq_.top();
-        pq_.pop();
+        const SchedEvent e = queuePop();
         if (state_[e.p] != State::Ready || queuedTime_[e.p] != e.time)
             continue; // stale heap entry
         current_ = e.p;

@@ -17,6 +17,7 @@
 #include <queue>
 #include <vector>
 
+#include "sim/calqueue.hh"
 #include "sim/task.hh"
 #include "sim/types.hh"
 
@@ -29,7 +30,17 @@ class Scheduler
 {
   public:
     void attach(std::vector<Cpu>* cpus) { cpus_ = cpus; }
-    void setQuantum(Cycles q) { quantum_ = q; }
+    void
+    setQuantum(Cycles q)
+    {
+        quantum_ = q;
+        cal_.setSpan(q);
+    }
+    /// Test seam: drive the ready list from the legacy
+    /// std::priority_queue instead of the calendar queue. Both produce
+    /// the same pop order (the cycle-identity tests prove it); the
+    /// calendar queue is simply faster. Select before spawn().
+    void setLegacyQueue(bool on) { legacy_ = on; }
     void
     spawn(ProcId p, Task::Handle h)
     {
@@ -44,7 +55,21 @@ class Scheduler
     }
 
     /// Make a (blocked or yielded) processor runnable at `time`.
-    void ready(ProcId p, Cycles time);
+    /// Inline: called once per scheduling episode (for miss-heavy
+    /// workloads, nearly once per memory access).
+    void
+    ready(ProcId p, Cycles time)
+    {
+        if (static_cast<std::size_t>(p) >= queuedTime_.size())
+            [[unlikely]]
+            queuedTime_.resize(p + 1, 0);
+        state_[p] = State::Ready;
+        queuedTime_[p] = time;
+        if (!legacy_) [[likely]]
+            cal_.push(SchedEvent{time, seq_++, p});
+        else
+            pq_.push(SchedEvent{time, seq_++, p});
+    }
     /// Mark a processor blocked on synchronization.
     void block(ProcId p) { state_[p] = State::Blocked; }
 
@@ -56,22 +81,28 @@ class Scheduler
 
   private:
     enum class State : std::uint8_t { Ready, Blocked, Done };
-    struct Entry {
-        Cycles time;
-        std::uint64_t seq;
-        ProcId p;
-        bool
-        operator>(const Entry& o) const
-        {
-            return time != o.time ? time > o.time : seq > o.seq;
-        }
-    };
+
+    bool queueEmpty() const { return legacy_ ? pq_.empty() : cal_.empty(); }
+    SchedEvent
+    queuePop()
+    {
+        if (!legacy_) [[likely]]
+            return cal_.pop();
+        const SchedEvent e = pq_.top();
+        pq_.pop();
+        return e;
+    }
 
     std::vector<Cpu>* cpus_ = nullptr;
     std::vector<State> state_;
     std::vector<Task::Handle> handle_;
     std::vector<Cycles> queuedTime_;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq_;
+    CalendarQueue cal_;
+    /// Legacy ready list, active only with setLegacyQueue(true).
+    std::priority_queue<SchedEvent, std::vector<SchedEvent>,
+                        SchedEventAfter>
+        pq_;
+    bool legacy_ = false;
     std::uint64_t seq_ = 0;
     int live_ = 0;
     Cycles quantum_ = 2000;

@@ -19,6 +19,11 @@ Topology::Topology(const MachineConfig& cfg)
     for (int p = 0; p < cfg_.numProcs; ++p)
         procNode_[p] = p / ppn;
     buildDefaultMapping();
+    routeTab_.resize(static_cast<std::size_t>(numNodes_) * numNodes_);
+    for (NodeId f = 0; f < numNodes_; ++f)
+        for (NodeId t = 0; t < numNodes_; ++t)
+            routeTab_[static_cast<std::size_t>(f) * numNodes_ + t] =
+                computeRoute(f, t);
 }
 
 void
@@ -64,7 +69,7 @@ Topology::setMapping(std::vector<ProcId> perm)
 }
 
 Route
-Topology::route(NodeId from, NodeId to) const
+Topology::computeRoute(NodeId from, NodeId to) const
 {
     Route r;
     if (from == to)

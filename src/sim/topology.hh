@@ -13,6 +13,7 @@
 #ifndef CCNUMA_SIM_TOPOLOGY_HH
 #define CCNUMA_SIM_TOPOLOGY_HH
 
+#include <cstddef>
 #include <vector>
 
 #include "sim/config.hh"
@@ -56,8 +57,15 @@ class Topology
         return nodeOfProc(mapping_[process]);
     }
 
-    /// Shortest route between two nodes.
-    Route route(NodeId from, NodeId to) const;
+    /// Shortest route between two nodes. The geometry is immutable, so
+    /// every pair is precomputed at construction and this is a table
+    /// lookup — route() sits on the latency path of every remote
+    /// transaction (millions of calls per run).
+    Route
+    route(NodeId from, NodeId to) const
+    {
+        return routeTab_[static_cast<std::size_t>(from) * numNodes_ + to];
+    }
     /// Router hops between two nodes (metarouter crossings count as
     /// metaHopEquivalent hops for distance comparisons).
     int distance(NodeId from, NodeId to) const;
@@ -73,12 +81,14 @@ class Topology
 
   private:
     void buildDefaultMapping();
+    Route computeRoute(NodeId from, NodeId to) const;
 
     const MachineConfig cfg_;
     int numNodes_;
     int numMetaRouters_;
     std::vector<NodeId> procNode_;  ///< physical proc -> node
     std::vector<ProcId> mapping_;   ///< process -> physical proc
+    std::vector<Route> routeTab_;   ///< numNodes_^2, from-major
 };
 
 } // namespace ccnuma::sim

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Schema and determinism tests for the BENCH_sim.json document emitted
+ * by the ccnuma_bench self-benchmark harness.
+ *
+ * CI and the perf-trajectory tooling parse this file, so its shape is a
+ * contract: strict JSON (the repo's own check::json parser), required
+ * keys on every case entry (app, procs, opsPerSec, wallMs) and on the
+ * meta entry (gitDescribe, schemaVersion, aggOpsPerSec), and key sets
+ * that are stable across runs. Wall-clock values vary run to run;
+ * everything simulated must not.
+ */
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/selfbench/selfbench.hh"
+#include "check/json.hh"
+#include "core/metrics.hh"
+
+namespace {
+
+namespace sb = ccnuma::bench::selfbench;
+namespace json = ccnuma::check::json;
+
+/// A tiny grid that simulates in milliseconds.
+std::vector<sb::BenchCase>
+tinyGrid()
+{
+    return {
+        {"fft", 1u << 10, 4},
+        {"water-nsq", 64, 4},
+    };
+}
+
+struct Doc {
+    json::Value root;
+    std::string path;
+};
+
+Doc
+emitToTempFile(const sb::GridResult& r, const std::string& name)
+{
+    Doc d;
+    d.path = std::string(::testing::TempDir()) + name;
+    ccnuma::core::MetricsSink sink(d.path);
+    sb::emit(sink, r, "tiny", "test-deadbeef");
+    EXPECT_TRUE(sink.write());
+    const json::ParseResult pr = json::parseFile(d.path);
+    EXPECT_TRUE(pr.ok) << pr.error;
+    d.root = pr.root;
+    return d;
+}
+
+const json::Value*
+findRun(const json::Value& root, const std::string& label)
+{
+    const json::Value* runs = root.find("runs");
+    if (!runs || !runs->isArray())
+        return nullptr;
+    for (const json::Value& run : runs->arr) {
+        const json::Value* l = run.find("label");
+        if (l && l->isString() && l->str == label)
+            return &run;
+    }
+    return nullptr;
+}
+
+std::set<std::string>
+keysOf(const json::Value& obj)
+{
+    std::set<std::string> keys;
+    for (const auto& [k, v] : obj.obj)
+        keys.insert(k);
+    return keys;
+}
+
+TEST(SelfbenchSchema, RequiredKeysPresentAndTyped)
+{
+    const sb::GridResult r = sb::runGrid(tinyGrid());
+    const Doc d = emitToTempFile(r, "bench_schema.json");
+
+    // Every case entry: text app, counts procs/size/simMemOps/
+    // simCycles, scalars wallMs/opsPerSec.
+    for (const sb::CaseResult& c : r.cases) {
+        const json::Value* run = findRun(d.root, c.bc.label());
+        ASSERT_NE(run, nullptr) << c.bc.label();
+        const json::Value* app = run->find("app");
+        ASSERT_NE(app, nullptr);
+        EXPECT_TRUE(app->isString());
+        EXPECT_EQ(app->str, c.bc.app);
+        for (const char* key :
+             {"procs", "size", "simMemOps", "simCycles"}) {
+            const json::Value* v = run->find(key);
+            ASSERT_NE(v, nullptr) << key;
+            EXPECT_TRUE(v->isNumber()) << key;
+        }
+        ASSERT_NE(run->find("wallMs"), nullptr);
+        ASSERT_NE(run->find("opsPerSec"), nullptr);
+        EXPECT_EQ(run->find("procs")->asU64(),
+                  static_cast<std::uint64_t>(c.bc.procs));
+        EXPECT_EQ(run->find("simMemOps")->asU64(), c.simMemOps);
+        EXPECT_GT(run->find("opsPerSec")->asDouble(), 0.0);
+    }
+
+    // Meta entry.
+    const json::Value* meta = findRun(d.root, "selfbench/meta");
+    ASSERT_NE(meta, nullptr);
+    const json::Value* git = meta->find("gitDescribe");
+    ASSERT_NE(git, nullptr);
+    EXPECT_TRUE(git->isString());
+    EXPECT_EQ(git->str, "test-deadbeef");
+    const json::Value* ver = meta->find("schemaVersion");
+    ASSERT_NE(ver, nullptr);
+    EXPECT_EQ(ver->asU64(), 1u);
+    for (const char* key :
+         {"grid", "totalMemOps", "totalWallMs", "aggOpsPerSec"}) {
+        EXPECT_NE(meta->find(key), nullptr) << key;
+    }
+    EXPECT_GT(meta->find("aggOpsPerSec")->asDouble(), 0.0);
+
+    std::remove(d.path.c_str());
+}
+
+TEST(SelfbenchSchema, StableAcrossRuns)
+{
+    // Two independent runs: identical labels, identical key sets per
+    // entry, and identical simulated counters. Only wall-clock derived
+    // numbers may differ.
+    const sb::GridResult r1 = sb::runGrid(tinyGrid());
+    const sb::GridResult r2 = sb::runGrid(tinyGrid());
+    const Doc d1 = emitToTempFile(r1, "bench_run1.json");
+    const Doc d2 = emitToTempFile(r2, "bench_run2.json");
+
+    const json::Value* runs1 = d1.root.find("runs");
+    const json::Value* runs2 = d2.root.find("runs");
+    ASSERT_NE(runs1, nullptr);
+    ASSERT_NE(runs2, nullptr);
+    ASSERT_EQ(runs1->arr.size(), runs2->arr.size());
+    for (std::size_t i = 0; i < runs1->arr.size(); ++i) {
+        const json::Value& a = runs1->arr[i];
+        const json::Value& b = runs2->arr[i];
+        EXPECT_EQ(a.find("label")->str, b.find("label")->str);
+        EXPECT_EQ(keysOf(a), keysOf(b)) << a.find("label")->str;
+        for (const char* key : {"simMemOps", "simCycles"}) {
+            const json::Value* va = a.find(key);
+            const json::Value* vb = b.find(key);
+            if (va || vb) {
+                ASSERT_NE(va, nullptr);
+                ASSERT_NE(vb, nullptr);
+                EXPECT_EQ(va->asU64(), vb->asU64())
+                    << a.find("label")->str << " " << key;
+            }
+        }
+    }
+    EXPECT_EQ(r1.totalMemOps, r2.totalMemOps);
+
+    std::remove(d1.path.c_str());
+    std::remove(d2.path.c_str());
+}
+
+TEST(SelfbenchSchema, CompareBaselineRoundTrip)
+{
+    // A grid compared against its own emitted baseline is ratio ~1 and
+    // passes any sane threshold; a corrupt file is a clean failure.
+    const sb::GridResult r = sb::runGrid(tinyGrid());
+    const Doc d = emitToTempFile(r, "bench_baseline.json");
+
+    const sb::CompareResult same =
+        sb::compareBaseline(d.path, r, 0.75);
+    EXPECT_TRUE(same.ok) << same.message;
+    EXPECT_NEAR(same.ratio, 1.0, 1e-9);
+
+    const sb::CompareResult impossible =
+        sb::compareBaseline(d.path, r, 1000.0);
+    EXPECT_FALSE(impossible.ok);
+
+    const sb::CompareResult missing =
+        sb::compareBaseline(d.path + ".nope", r, 0.75);
+    EXPECT_FALSE(missing.ok);
+    EXPECT_FALSE(missing.message.empty());
+
+    std::remove(d.path.c_str());
+}
+
+} // namespace

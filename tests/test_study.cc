@@ -31,29 +31,6 @@ TEST(Study, MeasureUsesSeqCache)
     EXPECT_EQ(cache.lookup("k"), m1.seqTime);
 }
 
-TEST(Study, DeprecatedRawMapShimStillWorks)
-{
-    // The pre-StudyRunner signature stays for one release; it must
-    // keep filling the caller's map.
-    std::map<std::string, sim::Cycles> cache;
-    const sim::MachineConfig cfg = sim::MachineConfig::origin2000(2);
-    int calls = 0;
-    const auto factory = [&] {
-        ++calls;
-        return apps::makeApp("fft", 1 << 10);
-    };
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    const auto m1 = core::measure(cfg, factory, &cache, "k");
-    EXPECT_EQ(calls, 2);
-    ASSERT_EQ(cache.count("k"), 1u);
-    EXPECT_EQ(cache["k"], m1.seqTime);
-    const auto m2 = core::measure(cfg, factory, &cache, "k");
-#pragma GCC diagnostic pop
-    EXPECT_EQ(calls, 3) << "map entry honoured";
-    EXPECT_EQ(m1.seqTime, m2.seqTime);
-}
-
 TEST(Study, MachineConfigPresets)
 {
     const sim::MachineConfig o128 = sim::MachineConfig::origin2000(128);
