@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
 
 #include "bench/selfbench/selfbench.hh"
@@ -92,6 +93,17 @@ main(int argc, char** argv)
 
     core::MetricsSink sink(json);
     sb::emit(sink, res, grid_name, CCNUMA_GIT_DESCRIBE);
+    // Keep the perf trajectory: prior history entries in the existing
+    // file survive the rewrite, with this run appended.
+    char date[16] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    if (std::tm tm_utc{}; gmtime_r(&now, &tm_utc) != nullptr)
+        std::strftime(date, sizeof date, "%Y-%m-%d", &tm_utc);
+    const std::size_t runs_kept = sb::appendHistory(
+        sink, json, res, grid_name, CCNUMA_GIT_DESCRIBE, date);
+    std::printf("history: %zu prior run(s) kept, this run is "
+                "history/%zu\n",
+                runs_kept, runs_kept);
     if (!sink.write()) {
         std::fprintf(stderr, "ccnuma_bench: cannot write %s\n",
                      json.c_str());

@@ -127,6 +127,50 @@ emit(core::MetricsSink& sink, const GridResult& r,
     sink.addScalar(meta, "aggOpsPerSec", r.aggOpsPerSec);
 }
 
+std::size_t
+appendHistory(core::MetricsSink& sink, const std::string& priorPath,
+              const GridResult& r, const std::string& gridName,
+              const std::string& gitDescribe, const std::string& date)
+{
+    std::size_t kept = 0;
+    const check::json::ParseResult pr =
+        check::json::parseFile(priorPath);
+    if (pr.ok) {
+        const check::json::Value* runs = pr.root.find("runs");
+        if (runs && runs->isArray()) {
+            for (const check::json::Value& run : runs->arr) {
+                const check::json::Value* label = run.find("label");
+                if (!label || !label->isString() ||
+                    label->str.rfind("history/", 0) != 0)
+                    continue;
+                const std::string to =
+                    "history/" + std::to_string(kept);
+                for (const auto& [key, v] : run.obj) {
+                    if (key == "label")
+                        continue;
+                    if (v.isString())
+                        sink.addText(to, key, v.str);
+                    else if (v.isNumber() &&
+                             v.raw.find_first_of(".eE") !=
+                                 std::string::npos)
+                        sink.addScalar(to, key, v.asDouble());
+                    else if (v.isNumber())
+                        sink.addCount(to, key, v.asU64());
+                }
+                ++kept;
+            }
+        }
+    }
+    const std::string to = "history/" + std::to_string(kept);
+    sink.addText(to, "gitDescribe", gitDescribe);
+    sink.addText(to, "date", date);
+    sink.addText(to, "grid", gridName);
+    sink.addCount(to, "totalMemOps", r.totalMemOps);
+    sink.addScalar(to, "totalWallMs", r.totalWallMs);
+    sink.addScalar(to, "aggOpsPerSec", r.aggOpsPerSec);
+    return kept;
+}
+
 CompareResult
 compareBaseline(const std::string& baselinePath,
                 const GridResult& current, double minRatio)

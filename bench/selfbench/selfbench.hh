@@ -81,6 +81,22 @@ GridResult runGrid(const std::vector<BenchCase>& grid, int repeat = 1,
 void emit(core::MetricsSink& sink, const GridResult& r,
           const std::string& gridName, const std::string& gitDescribe);
 
+/**
+ * Carry the perf trajectory across runs: copy every "history/N" entry
+ * from a previously emitted BENCH_sim.json at `priorPath` into `sink`
+ * (relabelled sequentially from history/0), then append this run's
+ * aggregate as the next entry — text "gitDescribe"/"date"/"grid",
+ * count "totalMemOps", scalars "totalWallMs"/"aggOpsPerSec". A
+ * missing or unparseable prior file starts the history fresh. Returns
+ * the new entry's index (== number of prior entries kept).
+ */
+std::size_t appendHistory(core::MetricsSink& sink,
+                          const std::string& priorPath,
+                          const GridResult& r,
+                          const std::string& gridName,
+                          const std::string& gitDescribe,
+                          const std::string& date);
+
 /** Verdict of a baseline comparison. */
 struct CompareResult {
     bool ok = false;       ///< ratio >= minRatio (and baseline parsed)

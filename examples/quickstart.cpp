@@ -39,6 +39,9 @@ main(int argc, char** argv)
         cfg.trace.intervals = true;
         cfg.trace.sharing = true;
     }
+    // --epoch-cycles / CCNUMA_EPOCH tunes the epoch-series resolution.
+    if (opt.epochCycles)
+        cfg.trace.epochCycles = opt.epochCycles;
 
     // 2. Pick an application at its basic problem size (2^20 points).
     //    makeApp knows every app and variant in the study.

@@ -4,7 +4,7 @@
  * paper's core question, for any application in the registry.
  *
  * Usage: scaling_study [app] [size] [--jobs=N] [--trace=FILE]
- *                      [--json=FILE] [--seed=N]
+ *                      [--json=FILE] [--seed=N] [--epoch-cycles=N]
  *   e.g. scaling_study barnes 16384
  *        scaling_study water-spatial 32768 --jobs=4
  *
@@ -62,6 +62,9 @@ try {
             cfg.trace.intervals = true;
             cfg.trace.sharing = true;
         }
+        // --epoch-cycles / CCNUMA_EPOCH tunes the epoch resolution.
+        if (opt.epochCycles)
+            cfg.trace.epochCycles = opt.epochCycles;
         plan.add(app + " P=" + std::to_string(P), cfg,
                  [app, size] { return apps::makeApp(app, size); }, app);
     }

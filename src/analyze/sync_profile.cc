@@ -1,0 +1,69 @@
+#include "analyze/sync_profile.hh"
+
+namespace ccnuma::analyze {
+
+void
+SyncProfile::onLockAcquired(sim::ProcId p, int lock)
+{
+    if (lock < 0)
+        return;
+    if (static_cast<std::size_t>(lock) >= locks_.size())
+        locks_.resize(lock + 1);
+    LockInfo& li = locks_[lock];
+    ++li.acquires;
+    if (li.lastHolder != sim::kNoProc && li.lastHolder != p)
+        ++li.handoffs;
+    li.lastHolder = p;
+    if (p >= 0) {
+        if (static_cast<std::size_t>(p) >= li.procSeen.size())
+            li.procSeen.resize(p + 1, false);
+        if (!li.procSeen[p]) {
+            li.procSeen[p] = true;
+            ++li.procs;
+        }
+    }
+}
+
+void
+SyncProfile::onBarrierDepart(sim::ProcId p, int barrier,
+                             std::uint64_t episode)
+{
+    (void)p;
+    if (barrier < 0)
+        return;
+    if (static_cast<std::size_t>(barrier) >= barriers_.size())
+        barriers_.resize(barrier + 1);
+    BarrierInfo& bi = barriers_[barrier];
+    if (episode + 1 > bi.episodes)
+        bi.episodes = episode + 1;
+}
+
+SyncSummary
+SyncProfile::summary() const
+{
+    SyncSummary s;
+    s.memOps = memOps_;
+    s.taskSteals = steals_;
+    for (std::size_t i = 0; i < locks_.size(); ++i) {
+        const LockInfo& li = locks_[i];
+        if (li.acquires == 0)
+            continue;
+        ++s.locksUsed;
+        s.lockAcquires += li.acquires;
+        s.lockHandoffs += li.handoffs;
+        if (li.acquires > s.topLockAcquires) {
+            s.topLockAcquires = li.acquires;
+            s.topLock = static_cast<int>(i);
+            s.topLockProcs = li.procs;
+        }
+    }
+    for (const BarrierInfo& bi : barriers_) {
+        if (bi.episodes == 0)
+            continue;
+        ++s.barriersUsed;
+        s.barrierEpisodes += bi.episodes;
+    }
+    return s;
+}
+
+} // namespace ccnuma::analyze

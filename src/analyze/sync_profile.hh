@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Lightweight synchronization-structure profiler over the
+ * sim::SyncObserver surface.
+ *
+ * Where the RaceDetector (race.hh) consumes the observer stream to
+ * prove ordering, SyncProfile merely *summarizes* it: which locks are
+ * acquired how often and by how many distinct processors, how
+ * concentrated the locking is (one global lock vs many fine-grained
+ * ones), and how many barrier episodes the run went through. The
+ * ccnuma::diagnose verdict engine combines these structural facts with
+ * the timing split (ProcTimes::lockWait / barrierWait) to tell a lock
+ * convoy from barrier imbalance.
+ *
+ * O(1) per callback, no shadow memory — cheap enough to leave attached
+ * on every diagnosis run.
+ */
+
+#ifndef CCNUMA_ANALYZE_SYNC_PROFILE_HH
+#define CCNUMA_ANALYZE_SYNC_PROFILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sync_observer.hh"
+
+namespace ccnuma::analyze {
+
+/** Aggregate synchronization structure of one run. */
+struct SyncSummary {
+    std::uint64_t memOps = 0;       ///< Demand accesses observed.
+    std::uint64_t lockAcquires = 0; ///< Grants across all locks.
+    std::uint64_t lockHandoffs = 0; ///< Grants to a different holder
+                                    ///< than the previous one (the
+                                    ///< line-bouncing subset).
+    int locksUsed = 0;              ///< Distinct locks ever granted.
+    /// Acquires of the single most-acquired lock; topLockShare() near
+    /// 1.0 with many handoffs is the signature of a lock convoy.
+    std::uint64_t topLockAcquires = 0;
+    int topLock = -1;               ///< Its id (-1 if no locks).
+    int topLockProcs = 0;           ///< Distinct procs granted it.
+    std::uint64_t barrierEpisodes = 0; ///< Completed barrier episodes.
+    int barriersUsed = 0;           ///< Distinct barriers hit.
+    std::uint64_t taskSteals = 0;   ///< Work-stealing edges.
+
+    double topLockShare() const
+    {
+        return lockAcquires
+                   ? static_cast<double>(topLockAcquires) / lockAcquires
+                   : 0.0;
+    }
+    double handoffShare() const
+    {
+        return lockAcquires
+                   ? static_cast<double>(lockHandoffs) / lockAcquires
+                   : 0.0;
+    }
+};
+
+/**
+ * The observer. Attach with Machine::attachSyncObserver before run(),
+ * read summary() after. One instance per run (not reusable).
+ */
+class SyncProfile : public sim::SyncObserver
+{
+  public:
+    void onMemOp(sim::ProcId p, sim::Addr addr, sim::MemOp kind) override
+    {
+        (void)p;
+        (void)addr;
+        (void)kind;
+        ++memOps_;
+    }
+    void onLockAcquired(sim::ProcId p, int lock) override;
+    void onLockReleased(sim::ProcId p, int lock) override
+    {
+        (void)p;
+        (void)lock;
+    }
+    void onBarrierArrive(sim::ProcId p, int barrier,
+                         std::uint64_t episode) override
+    {
+        (void)p;
+        (void)barrier;
+        (void)episode;
+    }
+    void onBarrierDepart(sim::ProcId p, int barrier,
+                         std::uint64_t episode) override;
+    void onTaskSteal(sim::ProcId thief, sim::ProcId victim) override
+    {
+        (void)thief;
+        (void)victim;
+        ++steals_;
+    }
+
+    /// Aggregate the per-lock/per-barrier state into a SyncSummary.
+    SyncSummary summary() const;
+
+  private:
+    struct LockInfo {
+        std::uint64_t acquires = 0;
+        std::uint64_t handoffs = 0;
+        std::vector<bool> procSeen;
+        int procs = 0;
+        sim::ProcId lastHolder = sim::kNoProc;
+    };
+    struct BarrierInfo {
+        std::uint64_t episodes = 0; ///< Highest episode departed + 1.
+    };
+
+    std::uint64_t memOps_ = 0;
+    std::uint64_t steals_ = 0;
+    std::vector<LockInfo> locks_;       ///< Indexed by lock id.
+    std::vector<BarrierInfo> barriers_; ///< Indexed by barrier id.
+};
+
+} // namespace ccnuma::analyze
+
+#endif // CCNUMA_ANALYZE_SYNC_PROFILE_HH

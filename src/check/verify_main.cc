@@ -27,6 +27,22 @@
  *       minimal witness — the detector's end-to-end self-test.
  *       --json dumps per-app detector statistics via core::MetricsSink.
  *
+ *   ccnuma_verify diagnose [--app=NAME|--all] [--procs=P1,P2,..]
+ *                          [--size=N] [--epoch-cycles=N] [--jobs=N]
+ *                          [--json=FILE] [--html=FILE]
+ *       Automated scaling-loss diagnosis (ccnuma::diagnose): run each
+ *       app across the machine-size grid (default 1,8,32; the smallest
+ *       is the reference) and print a ranked verdict — lock
+ *       serialization vs barrier imbalance vs Hub contention vs data
+ *       placement vs cache capacity — backed by the counters and
+ *       latency histograms that say so. --json writes the verdicts as
+ *       one deterministic JSON document; --html writes a
+ *       self-contained dashboard (verdict cards, per-epoch stacked
+ *       breakdown, miss-latency heatmap, hot-line table).
+ *
+ *   ccnuma_verify help  (also --help, -h)
+ *       Print the full subcommand reference and exit 0.
+ *
  * Exit status: 0 = verified, 1 = verification failure, 2 = usage.
  */
 
@@ -40,19 +56,37 @@
 #include "check/stress.hh"
 #include "core/cli.hh"
 #include "core/metrics.hh"
+#include "diagnose/diagnose.hh"
+#include "diagnose/html.hh"
 
 namespace {
 
 using namespace ccnuma;
 
 constexpr const char* kUsage =
-    "usage: ccnuma_verify stress [--seed=N] [--seeds=K] [--procs=P]\n"
-    "                            [--ops=N] [--shrink] [--mutate]\n"
-    "       ccnuma_verify golden [--procs=P] [--bless]\n"
-    "                            [--out=FILE|--check=FILE]\n"
-    "       ccnuma_verify races  [--app=NAME|--all] [--procs=P]\n"
-    "                            [--seed=N] [--seeds=K] [--ops=N]\n"
-    "                            [--mutate] [--json=FILE]\n";
+    "usage: ccnuma_verify <command> [flags]\n"
+    "\n"
+    "  stress    randomized programs under the sequential-consistency\n"
+    "            oracle, with replay + witness shrinking on failure\n"
+    "              [--seed=N] [--seeds=K] [--procs=P] [--ops=N]\n"
+    "              [--shrink] [--mutate]\n"
+    "  golden    recompute the per-app golden-metrics snapshot and\n"
+    "            diff (or --bless) the committed baseline\n"
+    "              [--procs=P] [--bless] [--out=FILE|--check=FILE]\n"
+    "  races     happens-before race analysis over the registered\n"
+    "            apps, or detector self-test with --mutate\n"
+    "              [--app=NAME|--all] [--procs=P] [--seed=N]\n"
+    "              [--seeds=K] [--ops=N] [--mutate] [--json=FILE]\n"
+    "  diagnose  automated scaling-loss diagnosis: ranked verdict per\n"
+    "            app (lock serialization / barrier imbalance / Hub\n"
+    "            contention / data placement / capacity) from a\n"
+    "            machine-size sweep\n"
+    "              [--app=NAME|--all] [--procs=P1,P2,..] [--size=N]\n"
+    "              [--epoch-cycles=N] [--jobs=N] [--json=FILE]\n"
+    "              [--html=FILE]\n"
+    "  help      print this reference (also --help, -h)\n"
+    "\n"
+    "exit status: 0 = verified, 1 = verification failure, 2 = usage\n";
 
 std::string
 defaultGoldenPath()
@@ -355,12 +389,117 @@ runRacesCmd(core::cli::Options& opt)
     return 1;
 }
 
+void
+printDiagnosis(const diagnose::AppDiagnosis& d)
+{
+    if (!d.ok) {
+        std::printf("%-24s FAILED: %s\n", d.app.c_str(),
+                    d.error.c_str());
+        return;
+    }
+    std::printf("%-24s %s\n", d.app.c_str(), d.verdict.c_str());
+    for (const diagnose::CauseScore& c : d.ranked) {
+        if (c.lostCycles == 0 && c.share == 0)
+            continue;
+        std::printf("  %-20s %5.1f%%  %s\n",
+                    diagnose::causeTitle(c.cause), c.share * 100,
+                    c.evidence.empty() ? "" : c.evidence[0].c_str());
+    }
+}
+
+int
+runDiagnoseCmd(core::cli::Options& opt)
+{
+    diagnose::DiagnoseOptions dopt;
+    dopt.jobs = opt.jobs;
+    dopt.epochCycles = opt.epochCycles;
+    std::string procsList;
+    if (opt.takeFlag("procs", procsList)) {
+        std::vector<std::uint64_t> grid;
+        if (!core::cli::parseU64List(procsList, grid)) {
+            std::fprintf(stderr, "malformed --procs=%s "
+                                 "(want e.g. --procs=1,8,32)\n",
+                         procsList.c_str());
+            return 2;
+        }
+        dopt.procs.clear();
+        for (std::uint64_t p : grid)
+            dopt.procs.push_back(static_cast<int>(p));
+    }
+    if (!takeU64(opt, "size", dopt.size))
+        return 2;
+    std::string appName;
+    const bool hasApp = opt.takeFlag("app", appName);
+    const bool all = opt.takeSwitch("all");
+    std::string htmlPath;
+    const bool hasHtml = opt.takeFlag("html", htmlPath);
+    if (!core::cli::warnUnknown(opt))
+        return 2;
+    if (hasApp && all) {
+        std::fprintf(stderr, "--app and --all are exclusive\n");
+        return 2;
+    }
+
+    std::vector<diagnose::AppDiagnosis> results;
+    if (hasApp) {
+        try {
+            results.push_back(diagnose::diagnoseApp(appName, dopt));
+        } catch (const std::invalid_argument& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    } else {
+        dopt.progress = true;
+        results = diagnose::diagnoseAllApps(dopt);
+    }
+
+    std::uint64_t failed = 0;
+    core::MetricsSink sink(opt.jsonFile);
+    for (const diagnose::AppDiagnosis& d : results) {
+        printDiagnosis(d);
+        diagnose::emitMetrics(d, sink);
+        if (!d.ok)
+            ++failed;
+    }
+    if (!opt.jsonFile.empty() &&
+        !diagnose::writeDiagnoseJsonFile(opt.jsonFile, results)) {
+        std::fprintf(stderr, "failed to write %s\n",
+                     opt.jsonFile.c_str());
+        return 1;
+    }
+    if (!opt.jsonFile.empty())
+        std::printf("wrote %s\n", opt.jsonFile.c_str());
+    if (hasHtml) {
+        if (!diagnose::writeDashboardFile(htmlPath, results)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         htmlPath.c_str());
+            return 1;
+        }
+        std::printf("wrote %s (self-contained dashboard)\n",
+                    htmlPath.c_str());
+    }
+    if (failed) {
+        std::fprintf(stderr, "%llu app(s) failed to diagnose\n",
+                     static_cast<unsigned long long>(failed));
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
     core::cli::Options opt = core::cli::parse(argc, argv);
+    // "--help" lands in unknown; a bare "-h" parses as a positional.
+    const bool helpFlag = opt.takeSwitch("help");
+    if (helpFlag ||
+        (!opt.positional.empty() &&
+         (opt.positional[0] == "help" || opt.positional[0] == "-h"))) {
+        std::printf("%s", kUsage);
+        return 0;
+    }
     if (opt.positional.empty()) {
         std::fprintf(stderr, "%s", kUsage);
         return 2;
@@ -372,6 +511,8 @@ main(int argc, char** argv)
         return runGoldenCmd(opt);
     if (cmd == "races")
         return runRacesCmd(opt);
+    if (cmd == "diagnose")
+        return runDiagnoseCmd(opt);
     std::fprintf(stderr, "unknown command '%s'\n%s", cmd.c_str(),
                  kUsage);
     return 2;

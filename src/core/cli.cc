@@ -71,6 +71,27 @@ parseU64(const std::string& text, std::uint64_t& out)
     return true;
 }
 
+bool
+parseU64List(const std::string& text, std::vector<std::uint64_t>& out)
+{
+    if (text.empty())
+        return false;
+    std::vector<std::uint64_t> vals;
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+        std::size_t comma = text.find(',', begin);
+        if (comma == std::string::npos)
+            comma = text.size();
+        std::uint64_t v = 0;
+        if (!parseU64(text.substr(begin, comma - begin), v))
+            return false;
+        vals.push_back(v);
+        begin = comma + 1;
+    }
+    out = std::move(vals);
+    return true;
+}
+
 Options
 parse(int argc, char** argv)
 {
@@ -104,6 +125,8 @@ parse(int argc, char** argv)
         setInt("CCNUMA_JOBS", env, opt.jobs);
     if (const char* env = std::getenv("CCNUMA_SEED"))
         setU64("CCNUMA_SEED", env, opt.seed);
+    if (const char* env = std::getenv("CCNUMA_EPOCH"))
+        setU64("CCNUMA_EPOCH", env, opt.epochCycles);
 
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
@@ -115,6 +138,8 @@ parse(int argc, char** argv)
             setInt("--jobs", jobs, opt.jobs);
         else if (const char* seed = flagValue(arg, "seed"))
             setU64("--seed", seed, opt.seed);
+        else if (const char* epoch = flagValue(arg, "epoch-cycles"))
+            setU64("--epoch-cycles", epoch, opt.epochCycles);
         else if (std::strncmp(arg, "--", 2) == 0)
             opt.unknown.emplace_back(arg);
         else
@@ -134,7 +159,8 @@ warnUnknown(const Options& opt)
     for (const std::string& f : opt.unknown)
         std::fprintf(stderr,
                      "warning: unknown flag %s (known: --trace=FILE "
-                     "--json=FILE --jobs=N --seed=N)\n",
+                     "--json=FILE --jobs=N --seed=N "
+                     "--epoch-cycles=N)\n",
                      f.c_str());
     return opt.unknown.empty() && opt.malformed.empty();
 }

@@ -12,6 +12,10 @@
  *   --seed=N       seed for randomized components (mapping
  *                  permutations, stress programs); env fallback:
  *                  CCNUMA_SEED
+ *   --epoch-cycles=N  epoch length for interval metrics, in cycles
+ *                  (0 = the TraceConfig default); tunes the time
+ *                  resolution of epoch series and dashboards without
+ *                  recompiling. Env fallback: CCNUMA_EPOCH
  *
  * Flags beat environment variables. Numeric flag values are parsed
  * strictly: a malformed value (e.g. --jobs=abc) is reported in
@@ -36,6 +40,10 @@ struct Options {
     std::string jsonFile;
     int jobs = 1;
     std::uint64_t seed = 1;
+    /// Epoch length override for interval metrics; 0 = keep the
+    /// sim::TraceConfig default (drivers apply it to
+    /// cfg.trace.epochCycles when non-zero).
+    std::uint64_t epochCycles = 0;
     std::vector<std::string> positional;
     std::vector<std::string> unknown;
     /// Flags whose numeric value did not parse ("--jobs=abc"); the
@@ -66,6 +74,12 @@ Options parse(int argc, char** argv);
 /// Strict u64 parse of a full string; returns false on any trailing
 /// garbage, sign, overflow or empty input.
 bool parseU64(const std::string& text, std::uint64_t& out);
+
+/// Strict parse of a comma-separated u64 list ("1,8,32"); returns
+/// false (leaving `out` untouched) on any malformed element, empty
+/// element or empty input.
+bool parseU64List(const std::string& text,
+                  std::vector<std::uint64_t>& out);
 
 /// Print a warning per unknown flag and per malformed numeric value;
 /// returns true if there were none of either.

@@ -122,6 +122,7 @@ MetricsSink::write() const
             w.field("prefetchesUseful", c.prefetchesUseful);
             w.field("pageMigrations", c.pageMigrations);
             w.field("lockAcquires", c.lockAcquires);
+            w.field("lockContended", c.lockContended);
             w.field("barriersPassed", c.barriersPassed);
             w.endObject();
         }

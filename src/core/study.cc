@@ -3,16 +3,20 @@
 namespace ccnuma::core {
 
 sim::RunResult
-runApp(const sim::MachineConfig& cfg, apps::App& app)
+runApp(const sim::MachineConfig& cfg, apps::App& app,
+       const MachineHook& pre_run)
 {
     sim::Machine m(cfg);
     app.setup(m);
+    if (pre_run)
+        pre_run(m);
     return m.run(app.program());
 }
 
 Measurement
 measure(const sim::MachineConfig& cfg, const AppFactory& factory,
-        SeqBaselineCache* seq_cache, const std::string& seq_key)
+        SeqBaselineCache* seq_cache, const std::string& seq_key,
+        const MachineHook& pre_run)
 {
     Measurement out;
     out.nprocs = cfg.numProcs;
@@ -27,7 +31,7 @@ measure(const sim::MachineConfig& cfg, const AppFactory& factory,
                       : simulate_baseline();
 
     apps::AppPtr par_app = factory();
-    out.par = runApp(cfg, *par_app);
+    out.par = runApp(cfg, *par_app, pre_run);
     out.parTime = out.par.time;
     return out;
 }

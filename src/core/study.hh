@@ -26,8 +26,16 @@ namespace ccnuma::core {
 /// Build-an-app callback; called once per machine (P-proc and 1-proc).
 using AppFactory = std::function<apps::AppPtr()>;
 
-/// Run `app` on a machine configured by `cfg`.
-sim::RunResult runApp(const sim::MachineConfig& cfg, apps::App& app);
+/// Optional per-run access to the Machine between App::setup() and
+/// Machine::run() — the seam observers (e.g. a sim::SyncObserver or
+/// the diagnose sync profiler) attach through. Never called for
+/// baseline runs (those are only timed).
+using MachineHook = std::function<void(sim::Machine&)>;
+
+/// Run `app` on a machine configured by `cfg`. `pre_run` (optional) is
+/// invoked after setup, just before the program starts.
+sim::RunResult runApp(const sim::MachineConfig& cfg, apps::App& app,
+                      const MachineHook& pre_run = {});
 
 /** Result of one speedup measurement. */
 struct Measurement {
@@ -58,7 +66,8 @@ struct Measurement {
 Measurement measure(const sim::MachineConfig& cfg,
                     const AppFactory& factory,
                     SeqBaselineCache* seq_cache = nullptr,
-                    const std::string& seq_key = "");
+                    const std::string& seq_key = "",
+                    const MachineHook& pre_run = {});
 
 /// The paper's "scaling well" threshold: 60% parallel efficiency.
 inline constexpr double kGoodEfficiency = 0.60;

@@ -110,11 +110,11 @@ StudyRunner::run(const StudyPlan& plan)
             try {
                 if (spec.baseline) {
                     out.m = measure(spec.cfg, spec.factory, &cache_,
-                                    spec.seqKey);
+                                    spec.seqKey, spec.preRun);
                 } else {
                     out.m.nprocs = spec.cfg.numProcs;
                     apps::AppPtr app = spec.factory();
-                    out.m.par = runApp(spec.cfg, *app);
+                    out.m.par = runApp(spec.cfg, *app, spec.preRun);
                     out.m.parTime = out.m.par.time;
                 }
                 out.ok = true;

@@ -44,6 +44,10 @@ struct RunSpec {
     /// When false, skip the baseline entirely (parallel run only;
     /// Measurement::seqTime stays 0 and speedup() reads 0).
     bool baseline = true;
+    /// Optional hook run on the parallel Machine between App::setup()
+    /// and Machine::run() (attach observers; see core::MachineHook).
+    /// Called from the worker thread executing this spec.
+    MachineHook preRun;
 };
 
 /** An ordered list of RunSpecs; order defines result order. */
@@ -61,7 +65,7 @@ class StudyPlan
                    AppFactory factory, std::string seqKey = "")
     {
         return add(RunSpec{std::move(name), cfg, std::move(factory),
-                           std::move(seqKey), true});
+                           std::move(seqKey), true, {}});
     }
     /// Convenience: parallel run only, no baseline (e.g. breakdowns).
     StudyPlan& addParallelOnly(std::string name,
@@ -69,7 +73,7 @@ class StudyPlan
                                AppFactory factory)
     {
         return add(RunSpec{std::move(name), cfg, std::move(factory),
-                           "", false});
+                           "", false, {}});
     }
 
     const std::vector<RunSpec>& specs() const { return specs_; }

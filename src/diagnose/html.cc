@@ -1,0 +1,414 @@
+#include "diagnose/html.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace ccnuma::diagnose {
+
+namespace {
+
+using obs::LatencyHisto;
+
+/// The five stacked time categories share one palette everywhere.
+struct Category {
+    const char* name;
+    const char* color;
+};
+constexpr Category kCats[] = {
+    {"busy", "#4c9f70"},        {"memStall", "#d08770"},
+    {"lockWait", "#bf616a"},    {"barrierWait", "#b48ead"},
+    {"syncOp", "#5e81ac"},
+};
+
+std::string
+esc(const std::string& s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+        case '&': out += "&amp;"; break;
+        case '<': out += "&lt;"; break;
+        case '>': out += "&gt;"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+num(double v, int prec = 1)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+big(std::uint64_t v)
+{
+    // Group digits for readability: 12345678 -> "12,345,678".
+    std::string raw = std::to_string(v);
+    std::string out;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (i && (raw.size() - i) % 3 == 0)
+            out += ',';
+        out += raw[i];
+    }
+    return out;
+}
+
+/// Anchor id for an app card ("water-nsq" is already id-safe).
+std::string
+anchor(const std::string& app)
+{
+    return "app-" + app;
+}
+
+void
+stackedBar(std::ostream& os, const sim::ProcTimes& t)
+{
+    const double total = static_cast<double>(t.total());
+    if (total <= 0) {
+        os << "<span class='muted'>-</span>";
+        return;
+    }
+    const double vals[] = {
+        static_cast<double>(t.busy), static_cast<double>(t.memStall),
+        static_cast<double>(t.lockWait),
+        static_cast<double>(t.barrierWait),
+        static_cast<double>(t.syncOp)};
+    os << "<div class='bar'>";
+    for (int i = 0; i < 5; ++i) {
+        const double pct = vals[i] / total * 100.0;
+        if (pct < 0.05)
+            continue;
+        os << "<span style='width:" << num(pct, 2) << "%;background:"
+           << kCats[i].color << "' title='" << kCats[i].name << " "
+           << num(pct) << "%'></span>";
+    }
+    os << "</div>";
+}
+
+void
+causeBars(std::ostream& os, const AppDiagnosis& d)
+{
+    os << "<table class='causes'>";
+    for (const CauseScore& c : d.ranked) {
+        os << "<tr><td class='cname'>" << esc(causeTitle(c.cause))
+           << "</td><td class='cbar'>";
+        const double pct = std::max(0.0, c.share) * 100.0;
+        os << "<div class='bar thin'><span style='width:"
+           << num(pct, 2) << "%;background:"
+           << (c.lostCycles >= 0 ? "#bf616a" : "#4c9f70")
+           << "'></span></div>";
+        os << "</td><td class='cshare'>";
+        if (c.lostCycles < 0)
+            os << "gain";
+        else
+            os << num(pct, 0) << "%";
+        os << "</td><td class='cev'>";
+        for (std::size_t i = 0; i < c.evidence.size(); ++i)
+            os << (i ? " &middot; " : "") << esc(c.evidence[i]);
+        os << "</td></tr>";
+    }
+    os << "</table>";
+}
+
+void
+scalingTable(std::ostream& os, const AppDiagnosis& d)
+{
+    os << "<table class='grid'><tr><th>P</th><th>cycles</th>"
+          "<th>speedup</th><th>efficiency</th>"
+          "<th class='wide'>time breakdown</th></tr>";
+    for (const RunObservation& r : d.runs) {
+        os << "<tr><td>" << r.procs << "</td><td class='mono'>"
+           << big(r.time) << "</td><td>" << num(r.speedup) << "</td>"
+           << "<td class='" << (r.efficiency >= 0.6 ? "good" : "bad")
+           << "'>" << num(r.efficiency * 100, 0) << "%</td><td>";
+        stackedBar(os, r.times);
+        os << "</td></tr>";
+    }
+    os << "</table>";
+}
+
+/// Per-epoch stacked SVG of the focus run. Adjacent epochs are merged
+/// so at most kMaxCols columns render (deterministic downsample).
+void
+epochChart(std::ostream& os, const RunObservation& foc)
+{
+    if (foc.epochs.empty())
+        return;
+    constexpr std::size_t kMaxCols = 160;
+    const std::size_t n = foc.epochs.size();
+    const std::size_t group = (n + kMaxCols - 1) / kMaxCols;
+    std::vector<EpochRow> cols;
+    for (std::size_t i = 0; i < n; i += group) {
+        EpochRow e;
+        for (std::size_t j = i; j < std::min(n, i + group); ++j) {
+            const EpochRow& s = foc.epochs[j];
+            e.busy += s.busy;
+            e.memStall += s.memStall;
+            e.lockWait += s.lockWait;
+            e.barrierWait += s.barrierWait;
+            e.syncOp += s.syncOp;
+        }
+        cols.push_back(e);
+    }
+    sim::Cycles peak = 0;
+    for (const EpochRow& e : cols)
+        peak = std::max(peak, e.total());
+    if (peak == 0)
+        return;
+
+    const int W = 720, H = 160;
+    const double cw = static_cast<double>(W) / cols.size();
+    os << "<h4>where the focus run's cycles go, epoch by epoch"
+       << (group > 1 ? " (each column spans " + std::to_string(group) +
+                           " epochs)"
+                     : "")
+       << "</h4><svg viewBox='0 0 " << W << " " << H
+       << "' width='" << W << "' height='" << H
+       << "' role='img'>";
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+        const EpochRow& e = cols[i];
+        const double vals[] = {static_cast<double>(e.busy),
+                               static_cast<double>(e.memStall),
+                               static_cast<double>(e.lockWait),
+                               static_cast<double>(e.barrierWait),
+                               static_cast<double>(e.syncOp)};
+        double y = H;
+        for (int k = 0; k < 5; ++k) {
+            const double h =
+                vals[k] / static_cast<double>(peak) * (H - 4);
+            if (h <= 0)
+                continue;
+            y -= h;
+            os << "<rect x='" << num(i * cw, 2) << "' y='"
+               << num(y, 2) << "' width='" << num(cw + 0.5, 2)
+               << "' height='" << num(h, 2) << "' fill='"
+               << kCats[k].color << "'/>";
+        }
+    }
+    os << "</svg>";
+}
+
+void
+legend(std::ostream& os)
+{
+    os << "<p class='legend'>";
+    for (const Category& c : kCats)
+        os << "<span class='chip' style='background:" << c.color
+           << "'></span>" << c.name << " ";
+    os << "</p>";
+}
+
+/// Miss-latency heatmap: rows = machine sizes, columns = power-of-two
+/// latency buckets (all three miss classes merged), shade = the row's
+/// share of misses in that bucket.
+void
+heatmap(std::ostream& os, const AppDiagnosis& d)
+{
+    constexpr int B = LatencyHisto::kBuckets;
+    struct Row {
+        int procs;
+        std::array<std::uint64_t, B> buckets{};
+        std::uint64_t total = 0;
+    };
+    std::vector<Row> rows;
+    int lo = B, hi = -1;
+    for (const RunObservation& r : d.runs) {
+        if (!r.traced)
+            continue;
+        Row row;
+        row.procs = r.procs;
+        for (int i = 0; i < B; ++i) {
+            row.buckets[i] = r.histLocal.buckets[i] +
+                             r.histRemoteClean.buckets[i] +
+                             r.histRemoteDirty.buckets[i];
+            row.total += row.buckets[i];
+            if (row.buckets[i]) {
+                lo = std::min(lo, i);
+                hi = std::max(hi, i);
+            }
+        }
+        rows.push_back(row);
+    }
+    if (rows.empty() || hi < lo)
+        return;
+
+    os << "<h4>miss latency across machine sizes</h4>"
+          "<table class='heat'><tr><th>P \\ cycles</th>";
+    for (int i = lo; i <= hi; ++i)
+        os << "<th>" << LatencyHisto::bucketLo(i) << "</th>";
+    os << "</tr>";
+    for (const Row& row : rows) {
+        os << "<tr><th>" << row.procs << "</th>";
+        for (int i = lo; i <= hi; ++i) {
+            const double share =
+                row.total ? static_cast<double>(row.buckets[i]) /
+                                static_cast<double>(row.total)
+                          : 0.0;
+            // Perceptual-ish ramp: alpha from the bucket share.
+            os << "<td style='background:rgba(191,97,106,"
+               << num(share, 3) << ")' title='" << big(row.buckets[i])
+               << " misses'></td>";
+        }
+        os << "</tr>";
+    }
+    os << "</table><p class='muted'>columns are power-of-two latency "
+          "buckets (lower bound shown); a hot right-hand column at "
+          "large P is contention or remoteness, weight moving left "
+          "as P grows is the aggregate cache absorbing misses.</p>";
+}
+
+void
+hotLineTable(std::ostream& os, const RunObservation& foc)
+{
+    if (foc.hotLines.empty())
+        return;
+    os << "<h4>hottest coherence lines (focus run)</h4>"
+          "<table class='grid'><tr><th>line</th><th>class</th>"
+          "<th>traffic</th><th>invals</th><th>dirty misses</th>"
+          "<th>upgrades</th><th>procs</th><th>shared words</th></tr>";
+    for (const HotLine& h : foc.hotLines) {
+        char addr[32];
+        std::snprintf(addr, sizeof addr, "0x%llx",
+                      static_cast<unsigned long long>(h.line));
+        const bool fs = h.cls == "false-sharing";
+        os << "<tr><td class='mono'>" << addr << "</td><td class='"
+           << (fs ? "bad" : "") << "'>" << esc(h.cls) << "</td><td>"
+           << big(h.traffic) << "</td><td>" << big(h.invalidations)
+           << "</td><td>" << big(h.dirtyMisses) << "</td><td>"
+           << big(h.upgrades) << "</td><td>" << h.procsTouched
+           << "</td><td>" << h.wordsShared << "</td></tr>";
+    }
+    os << "</table>";
+}
+
+void
+appCard(std::ostream& os, const AppDiagnosis& d)
+{
+    os << "<section class='card' id='" << esc(anchor(d.app)) << "'>";
+    os << "<h2>" << esc(d.app) << " <span class='muted'>size "
+       << d.size << "</span></h2>";
+    if (!d.ok) {
+        os << "<p class='bad'>diagnosis failed: " << esc(d.error)
+           << "</p></section>";
+        return;
+    }
+    os << "<p class='verdict " << (d.scalesWell ? "good" : "bad")
+       << "'>" << esc(d.verdict) << "</p>";
+    causeBars(os, d);
+    scalingTable(os, d);
+    legend(os);
+    epochChart(os, d.focus());
+    heatmap(os, d);
+    hotLineTable(os, d.focus());
+    os << "</section>";
+}
+
+constexpr const char* kStyle = R"css(
+body{font:14px/1.45 -apple-system,'Segoe UI',Roboto,sans-serif;
+     margin:0;background:#f4f3f0;color:#2e3440}
+header{background:#2e3440;color:#eceff4;padding:14px 28px}
+header h1{margin:0;font-size:20px}
+header p{margin:4px 0 0;color:#a3abb8}
+main{max-width:980px;margin:0 auto;padding:18px}
+.card{background:#fff;border:1px solid #ddd;border-radius:8px;
+      padding:16px 20px;margin:18px 0}
+h2{margin:0 0 6px;font-size:17px}
+h4{margin:18px 0 6px;font-size:13px;text-transform:uppercase;
+   letter-spacing:.04em;color:#555}
+table{border-collapse:collapse}
+table.grid td,table.grid th{border:1px solid #e4e2dd;padding:3px 9px;
+      text-align:right;font-size:13px}
+table.grid th{background:#f0eeea}
+td.wide{min-width:260px}
+table.causes{width:100%;margin:8px 0}
+table.causes td{padding:2px 6px;font-size:13px;vertical-align:top}
+td.cname{white-space:nowrap;font-weight:600;width:11em}
+td.cbar{width:130px}
+td.cshare{width:3.5em;text-align:right}
+td.cev{color:#555}
+.bar{display:flex;height:14px;width:100%;min-width:120px;
+     background:#eceae6;border-radius:3px;overflow:hidden}
+.bar.thin{height:9px;width:120px}
+.bar span{display:block;height:100%}
+.verdict{font-size:15px;font-weight:600;margin:4px 0 10px}
+.good{color:#1e7b45}.bad{color:#b3342c}
+.mono{font-family:ui-monospace,Menlo,Consolas,monospace}
+.muted{color:#888;font-weight:400;font-size:12px}
+.legend{font-size:12px;color:#555}
+.chip{display:inline-block;width:10px;height:10px;border-radius:2px;
+      margin:0 4px 0 10px}
+table.heat td{width:22px;height:16px;border:1px solid #f0eeea}
+table.heat th{font-size:11px;color:#666;padding:1px 4px;
+      text-align:right}
+table.index td,table.index th{padding:3px 10px;font-size:13px;
+      border-bottom:1px solid #e4e2dd;text-align:left}
+a{color:#3a6ea5;text-decoration:none}a:hover{text-decoration:underline}
+)css";
+
+} // namespace
+
+void
+writeDashboard(std::ostream& os,
+               const std::vector<AppDiagnosis>& results)
+{
+    std::size_t scaling = 0;
+    for (const AppDiagnosis& d : results)
+        if (d.ok && d.scalesWell)
+            ++scaling;
+
+    os << "<!doctype html><html lang='en'><head><meta charset='utf-8'>"
+          "<meta name='viewport' content='width=device-width,"
+          "initial-scale=1'><title>ccnuma scaling diagnosis</title>"
+          "<style>"
+       << kStyle << "</style></head><body>";
+    os << "<header><h1>scaling-loss diagnosis</h1><p>" << results.size()
+       << " application(s), " << scaling
+       << " scaling well (&ge;60% efficiency at the largest machine); "
+          "deterministic cycle-level simulation of an Origin2000-class "
+          "ccNUMA</p></header><main>";
+
+    if (results.size() > 1) {
+        os << "<section class='card'><h2>index</h2>"
+              "<table class='index'><tr><th>app</th><th>P</th>"
+              "<th>efficiency</th><th>primary cause</th>"
+              "<th>verdict</th></tr>";
+        for (const AppDiagnosis& d : results) {
+            os << "<tr><td><a href='#" << esc(anchor(d.app)) << "'>"
+               << esc(d.app) << "</a></td>";
+            if (!d.ok) {
+                os << "<td>-</td><td>-</td><td>-</td><td class='bad'>"
+                   << esc(d.error) << "</td></tr>";
+                continue;
+            }
+            const RunObservation& foc = d.focus();
+            os << "<td>" << foc.procs << "</td><td class='"
+               << (d.scalesWell ? "good" : "bad") << "'>"
+               << num(foc.efficiency * 100, 0) << "%</td><td>"
+               << esc(causeTitle(d.ranked.front().cause)) << "</td><td>"
+               << esc(d.verdict) << "</td></tr>";
+        }
+        os << "</table></section>";
+    }
+
+    for (const AppDiagnosis& d : results)
+        appCard(os, d);
+    os << "</main></body></html>\n";
+}
+
+bool
+writeDashboardFile(const std::string& path,
+                   const std::vector<AppDiagnosis>& results)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeDashboard(os, results);
+    return os.good();
+}
+
+} // namespace ccnuma::diagnose

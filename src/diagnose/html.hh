@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Self-contained HTML dashboard for scaling-loss diagnoses: one file,
+ * no external assets (inline CSS, inline SVG), openable offline.
+ *
+ * Layout per application card:
+ *  - verdict banner with the ranked cause bars and their evidence;
+ *  - the scaling table across the P grid (time, speedup, efficiency,
+ *    stacked time-breakdown bar with the lockWait/barrierWait split);
+ *  - per-epoch stacked breakdown of the focus run (SVG);
+ *  - miss-latency heatmap: one row per machine size, one column per
+ *    power-of-two latency bucket, shaded by the row's share of misses;
+ *  - hot coherence lines with their true/false-sharing class.
+ * An index table up top links to every card.
+ */
+
+#ifndef CCNUMA_DIAGNOSE_HTML_HH
+#define CCNUMA_DIAGNOSE_HTML_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "diagnose/diagnose.hh"
+
+namespace ccnuma::diagnose {
+
+/// Write the dashboard document for `results` to `os`.
+void writeDashboard(std::ostream& os,
+                    const std::vector<AppDiagnosis>& results);
+
+/// File wrapper; returns false on I/O error.
+bool writeDashboardFile(const std::string& path,
+                        const std::vector<AppDiagnosis>& results);
+
+} // namespace ccnuma::diagnose
+
+#endif // CCNUMA_DIAGNOSE_HTML_HH

@@ -40,6 +40,7 @@ sumCounters(const sim::RunResult& r)
         sum.prefetchesUseful += c.prefetchesUseful;
         sum.pageMigrations += c.pageMigrations;
         sum.lockAcquires += c.lockAcquires;
+        sum.lockContended += c.lockContended;
         sum.barriersPassed += c.barriersPassed;
     }
     return sum;
@@ -64,6 +65,7 @@ writeCounters(JsonWriter& w, const std::string& key,
     w.field("prefetchesUseful", c.prefetchesUseful);
     w.field("pageMigrations", c.pageMigrations);
     w.field("lockAcquires", c.lockAcquires);
+    w.field("lockContended", c.lockContended);
     w.field("barriersPassed", c.barriersPassed);
     w.endObject();
 }
@@ -76,6 +78,8 @@ writeTimes(JsonWriter& w, const std::string& key, const sim::ProcTimes& t)
     w.field("memStall", t.memStall);
     w.field("syncWait", t.syncWait);
     w.field("syncOp", t.syncOp);
+    w.field("lockWait", t.lockWait);
+    w.field("barrierWait", t.barrierWait);
     w.endObject();
 }
 

@@ -44,6 +44,7 @@ EpochSeries::sumCounters() const
         sum.prefetchesUseful += c.prefetchesUseful;
         sum.pageMigrations += c.pageMigrations;
         sum.lockAcquires += c.lockAcquires;
+        sum.lockContended += c.lockContended;
         sum.barriersPassed += c.barriersPassed;
     }
     return sum;
@@ -58,6 +59,8 @@ EpochSeries::sumTimes() const
         sum.memStall += s.t.memStall;
         sum.syncWait += s.t.syncWait;
         sum.syncOp += s.t.syncOp;
+        sum.lockWait += s.t.lockWait;
+        sum.barrierWait += s.t.barrierWait;
     }
     return sum;
 }
@@ -360,14 +363,20 @@ Trace::onFetchOp(ProcId p, Cycles now, Cycles lat, Addr addr,
 }
 
 void
-Trace::onLockAcquire(ProcId p, Cycles now, Addr line, NodeId home)
+Trace::onLockAcquire(ProcId p, Cycles now, Addr line, NodeId home,
+                     bool contended)
 {
-    if (cfg_.intervals)
-        ++epochs_.at(now).c.lockAcquires;
+    if (cfg_.intervals) {
+        EpochSample& s = epochs_.at(now);
+        ++s.c.lockAcquires;
+        if (contended)
+            ++s.c.lockContended;
+    }
     if (cfg_.events)
         events_.push({now, line, 0, static_cast<std::int16_t>(p),
                       static_cast<std::int16_t>(home),
-                      EventKind::LockAcquire, 0});
+                      EventKind::LockAcquire,
+                      static_cast<std::uint8_t>(contended ? 1 : 0)});
 }
 
 void

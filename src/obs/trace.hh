@@ -374,7 +374,10 @@ class Trace
                          NodeId home, const sim::ProcCounters& folded);
     void onFetchOp(ProcId p, Cycles now, Cycles lat, Addr addr,
                    NodeId home);
-    void onLockAcquire(ProcId p, Cycles now, Addr line, NodeId home);
+    /// `contended` marks an acquire that found the lock held (the
+    /// requester queues; the event's aux carries the same flag).
+    void onLockAcquire(ProcId p, Cycles now, Addr line, NodeId home,
+                       bool contended);
     void onBarrierPassed(ProcId p, Cycles now, Addr line);
     void onPageMigration(ProcId p, Cycles now, Addr addr, NodeId from,
                          NodeId to);
@@ -401,11 +404,17 @@ class Trace
             epochs_.at(now).t.syncOp += c;
     }
     void
-    addSyncWait(ProcId p, Cycles now, Cycles c)
+    addSyncWait(ProcId p, Cycles now, Cycles c, bool lock)
     {
         (void)p;
-        if (cfg_.intervals)
-            epochs_.at(now).t.syncWait += c;
+        if (cfg_.intervals) {
+            sim::ProcTimes& t = epochs_.at(now).t;
+            t.syncWait += c;
+            if (lock)
+                t.lockWait += c;
+            else
+                t.barrierWait += c;
+        }
     }
 
     // ---- results ----

@@ -197,25 +197,28 @@ class Cpu
         now_ += c;
         stats_->t.syncOp += c;
     }
+    /// What a synchronization wait was spent on (partitions syncWait
+    /// into ProcTimes::lockWait / ProcTimes::barrierWait).
+    enum class WaitKind : std::uint8_t { Lock, Barrier };
     void
-    chargeSyncWait(Cycles c)
+    chargeSyncWait(Cycles c, WaitKind kind)
     {
         if (obs::kTracingCompiled && trace_)
-            trace_->addSyncWait(id_, now_, c);
+            trace_->addSyncWait(id_, now_, c, kind == WaitKind::Lock);
         now_ += c;
         stats_->t.syncWait += c;
+        if (kind == WaitKind::Lock)
+            stats_->t.lockWait += c;
+        else
+            stats_->t.barrierWait += c;
     }
     /// Wake a blocked processor at absolute time `t`, charging the gap
     /// since it blocked as synchronization wait time.
     void
-    wakeAt(Cycles t)
+    wakeAt(Cycles t, WaitKind kind)
     {
-        if (t > now_) {
-            if (obs::kTracingCompiled && trace_)
-                trace_->addSyncWait(id_, now_, t - now_);
-            stats_->t.syncWait += t - now_;
-            now_ = t;
-        }
+        if (t > now_)
+            chargeSyncWait(t - now_, kind);
     }
 
     void beginQuantum(Cycles quantum) { quantumEnd_ = now_ + quantum; }

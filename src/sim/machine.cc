@@ -189,9 +189,10 @@ Machine::barrierArrive(BarrierId b, Cpu& cpu)
         ++w.stats().c.barriersPassed;
         if (p == cpu.id()) {
             if (wake > w.now())
-                w.chargeSyncWait(wake - w.now());
+                w.chargeSyncWait(wake - w.now(),
+                                 Cpu::WaitKind::Barrier);
         } else {
-            w.wakeAt(wake);
+            w.wakeAt(wake, Cpu::WaitKind::Barrier);
             sched_.ready(p, w.now());
         }
         if (obs::kTracingCompiled && trace_)
@@ -211,9 +212,11 @@ Machine::lockAcquire(LockId l, Cpu& cpu)
     const Cycles op = syncRmwCost(cpu, ls.line, ls.lastHolder);
     cpu.chargeSyncOp(op);
     ++cpu.stats().c.lockAcquires;
+    if (ls.held)
+        ++cpu.stats().c.lockContended;
     if (obs::kTracingCompiled && trace_)
         trace_->onLockAcquire(cpu.id(), cpu.now(), ls.line,
-                              mem_.syncHomeOf(ls.line));
+                              mem_.syncHomeOf(ls.line), ls.held);
 #ifdef CCNUMA_CHECK_MUTATE
     // Harness self-test (CheckMutation::DropLockAcquire): the acquire
     // is charged and reported granted, but the lock is never taken —
@@ -267,7 +270,7 @@ Machine::lockRelease(LockId l, Cpu& cpu)
     const Cycles wake = std::max(cpu.now(), w.now()) +
                         mem_.netRoundTrip(cpu.id(), next) / 2 +
                         cfg_.hubCycles;
-    w.wakeAt(wake);
+    w.wakeAt(wake, Cpu::WaitKind::Lock);
     if (cfg_.syncKind == SyncKind::LLSC)
         ls.lastHolder = next;
     // The handoff is the release->acquire synchronization edge: the

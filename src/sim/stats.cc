@@ -60,6 +60,7 @@ RunResult::totals() const
         sum.prefetchesUseful += c.prefetchesUseful;
         sum.pageMigrations += c.pageMigrations;
         sum.lockAcquires += c.lockAcquires;
+        sum.lockContended += c.lockContended;
         sum.barriersPassed += c.barriersPassed;
     }
     return sum;

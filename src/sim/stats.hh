@@ -37,6 +37,9 @@ struct ProcCounters {
     std::uint64_t prefetchesUseful = 0;
     std::uint64_t pageMigrations = 0;
     std::uint64_t lockAcquires = 0;
+    /// Acquires that found the lock held and had to queue (the
+    /// contended subset of lockAcquires; a convoy shows up here).
+    std::uint64_t lockContended = 0;
     std::uint64_t barriersPassed = 0;
 
     std::uint64_t misses() const
@@ -55,6 +58,12 @@ struct ProcTimes {
     Cycles memStall = 0; ///< Waiting for cache misses (incl. hits' cost).
     Cycles syncWait = 0; ///< Idle at barriers / contended locks.
     Cycles syncOp = 0;   ///< Cost of synchronization operations.
+    /// Exact partition of syncWait by what the processor waited *on*:
+    /// lockWait + barrierWait == syncWait always. The split is what
+    /// lets ccnuma::diagnose tell lock serialization from barrier
+    /// imbalance without re-deriving it from the event trace.
+    Cycles lockWait = 0;    ///< syncWait spent blocked on lock grants.
+    Cycles barrierWait = 0; ///< syncWait spent waiting at barriers.
 
     Cycles total() const { return busy + memStall + syncWait + syncOp; }
     Cycles sync() const { return syncWait + syncOp; }

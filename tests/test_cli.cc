@@ -31,6 +31,7 @@ struct CleanEnv {
         unsetenv("CCNUMA_JSON");
         unsetenv("CCNUMA_JOBS");
         unsetenv("CCNUMA_SEED");
+        unsetenv("CCNUMA_EPOCH");
     }
 };
 
@@ -135,6 +136,24 @@ TEST(Cli, MalformedNumericValuesKeepDefaultsAndAreReported)
     unsetenv("CCNUMA_SEED");
 }
 
+TEST(Cli, EpochCyclesFlagAndEnvFallback)
+{
+    CleanEnv env;
+    EXPECT_EQ(parseArgs({}).epochCycles, 0u)
+        << "default 0 keeps the TraceConfig epoch length";
+    EXPECT_EQ(parseArgs({"--epoch-cycles=50000"}).epochCycles, 50000u);
+
+    setenv("CCNUMA_EPOCH", "25000", 1);
+    EXPECT_EQ(parseArgs({}).epochCycles, 25000u);
+    EXPECT_EQ(parseArgs({"--epoch-cycles=1"}).epochCycles, 1u)
+        << "flag beats env";
+    unsetenv("CCNUMA_EPOCH");
+
+    const auto bad = parseArgs({"--epoch-cycles=soon"});
+    EXPECT_EQ(bad.epochCycles, 0u);
+    EXPECT_FALSE(bad.malformed.empty());
+}
+
 TEST(Cli, StrictU64Parse)
 {
     std::uint64_t v = 0;
@@ -148,6 +167,22 @@ TEST(Cli, StrictU64Parse)
     EXPECT_FALSE(core::cli::parseU64("3 ", v));
     EXPECT_FALSE(core::cli::parseU64("18446744073709551616", v))
         << "overflow";
+}
+
+TEST(Cli, StrictU64ListParse)
+{
+    std::vector<std::uint64_t> v{99};
+    EXPECT_TRUE(core::cli::parseU64List("1,8,32", v));
+    EXPECT_EQ(v, (std::vector<std::uint64_t>{1, 8, 32}));
+    EXPECT_TRUE(core::cli::parseU64List("7", v));
+    EXPECT_EQ(v, (std::vector<std::uint64_t>{7}));
+
+    for (const char* bad : {"", ",", "1,", ",1", "1,,2", "1,x", "1 ,2"}) {
+        v = {99};
+        EXPECT_FALSE(core::cli::parseU64List(bad, v)) << bad;
+        EXPECT_EQ(v, (std::vector<std::uint64_t>{99}))
+            << "failed parse must not touch the output: " << bad;
+    }
 }
 
 TEST(Cli, TakeFlagAndSwitchConsumeUnknown)

@@ -163,6 +163,53 @@ TEST(SelfbenchSchema, StableAcrossRuns)
     std::remove(d2.path.c_str());
 }
 
+TEST(SelfbenchSchema, HistoryAccumulatesAcrossRewrites)
+{
+    // Emitting to the same path repeatedly must append one history
+    // entry per run and carry every prior entry forward verbatim.
+    const sb::GridResult r = sb::runGrid(tinyGrid());
+    const std::string path =
+        std::string(::testing::TempDir()) + "bench_history.json";
+    std::remove(path.c_str());
+
+    for (std::size_t run = 0; run < 3; ++run) {
+        ccnuma::core::MetricsSink sink(path);
+        sb::emit(sink, r, "tiny", "rev-" + std::to_string(run));
+        const std::size_t idx = sb::appendHistory(
+            sink, path, r, "tiny", "rev-" + std::to_string(run),
+            "2026-08-0" + std::to_string(run + 1));
+        EXPECT_EQ(idx, run) << "prior entries kept";
+        ASSERT_TRUE(sink.write());
+    }
+
+    const json::ParseResult pr = json::parseFile(path);
+    ASSERT_TRUE(pr.ok) << pr.error;
+    for (std::size_t run = 0; run < 3; ++run) {
+        const json::Value* h =
+            findRun(pr.root, "history/" + std::to_string(run));
+        ASSERT_NE(h, nullptr) << run;
+        EXPECT_EQ(h->find("gitDescribe")->str,
+                  "rev-" + std::to_string(run));
+        EXPECT_EQ(h->find("date")->str,
+                  "2026-08-0" + std::to_string(run + 1));
+        EXPECT_EQ(h->find("grid")->str, "tiny");
+        EXPECT_EQ(h->find("totalMemOps")->asU64(), r.totalMemOps);
+        EXPECT_NE(h->find("aggOpsPerSec"), nullptr);
+    }
+    EXPECT_EQ(findRun(pr.root, "history/3"), nullptr);
+    // The per-case and meta entries are still there alongside.
+    EXPECT_NE(findRun(pr.root, "selfbench/meta"), nullptr);
+
+    // A fresh path starts the history at index 0.
+    ccnuma::core::MetricsSink fresh(path + ".fresh");
+    sb::emit(fresh, r, "tiny", "rev-x");
+    EXPECT_EQ(sb::appendHistory(fresh, path + ".nope", r, "tiny",
+                                "rev-x", "2026-08-08"),
+              0u);
+
+    std::remove(path.c_str());
+}
+
 TEST(SelfbenchSchema, CompareBaselineRoundTrip)
 {
     // A grid compared against its own emitted baseline is ratio ~1 and
