@@ -19,6 +19,7 @@
 #include "bench/selfbench/selfbench.hh"
 #include "core/cli.hh"
 #include "core/metrics.hh"
+#include "sim/config.hh"
 
 #ifndef CCNUMA_GIT_DESCRIBE
 #define CCNUMA_GIT_DESCRIBE "unknown"
@@ -73,6 +74,11 @@ main(int argc, char** argv)
         }
         repeat = static_cast<int>(r);
     }
+
+    // --protocol / --dir-format benchmark the simulator under a
+    // non-default coherence machine (the gated baseline stays MESI).
+    sim::MachineConfig machine = sim::MachineConfig::origin2000(2);
+    core::cli::applyMachine(opt, machine);
     core::cli::warnUnknown(opt);
 
     const std::string json =
@@ -83,8 +89,8 @@ main(int argc, char** argv)
                 "repeat=%d, build %s)\n",
                 grid_name.c_str(), repeat, CCNUMA_GIT_DESCRIBE);
 
-    const sb::GridResult res =
-        sb::runGrid(sb::fig2Grid(quick), repeat, /*progress=*/true);
+    const sb::GridResult res = sb::runGrid(
+        sb::fig2Grid(quick), repeat, /*progress=*/true, &machine);
 
     std::printf("total: %llu simulated mem ops in %.1f ms host -> "
                 "%.0f ops/sec aggregate\n",
@@ -92,6 +98,7 @@ main(int argc, char** argv)
                 res.totalWallMs, res.aggOpsPerSec);
 
     core::MetricsSink sink(json);
+    sink.setMachine(machine);
     sb::emit(sink, res, grid_name, CCNUMA_GIT_DESCRIBE);
     // Keep the perf trajectory: prior history entries in the existing
     // file survive the rewrite, with this run appended.

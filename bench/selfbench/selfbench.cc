@@ -53,15 +53,20 @@ fig2Grid(bool quick)
 }
 
 GridResult
-runGrid(const std::vector<BenchCase>& grid, int repeat, bool progress)
+runGrid(const std::vector<BenchCase>& grid, int repeat, bool progress,
+        const sim::MachineConfig* machine)
 {
     using clock = std::chrono::steady_clock;
     if (repeat < 1)
         repeat = 1;
     GridResult out;
     for (const BenchCase& bc : grid) {
-        const sim::MachineConfig cfg =
+        sim::MachineConfig cfg =
             sim::MachineConfig::origin2000(bc.procs);
+        if (machine) {
+            cfg.protocol = machine->protocol;
+            cfg.dirFormat = machine->dirFormat;
+        }
         CaseResult cr;
         cr.bc = bc;
         double best_ms = 0.0;

@@ -20,6 +20,10 @@
 
 #include "core/metrics.hh"
 
+namespace ccnuma::sim {
+struct MachineConfig;
+}
+
 namespace ccnuma::bench::selfbench {
 
 /// One timed configuration: an application at a size on P processors.
@@ -66,10 +70,14 @@ struct GridResult {
  * Run every case and time it. Each case is simulated `repeat` times
  * (>=1) and the fastest wall clock is kept — simulated results are
  * deterministic, so repeats only reduce host noise. `progress` (when
- * true) prints one line per case to stdout as it completes.
+ * true) prints one line per case to stdout as it completes. `machine`
+ * (when non-null) supplies the coherence protocol and directory
+ * format every case runs under; all other parameters stay at the
+ * per-case origin2000 calibration.
  */
 GridResult runGrid(const std::vector<BenchCase>& grid, int repeat = 1,
-                   bool progress = false);
+                   bool progress = false,
+                   const sim::MachineConfig* machine = nullptr);
 
 /**
  * Emit the grid into `sink`: one entry per case (text "app"; counts

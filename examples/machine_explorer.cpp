@@ -41,8 +41,7 @@ runCase(const char* label, const sim::MachineConfig& cfg,
 int
 main(int argc, char** argv)
 try {
-    const core::cli::Options opt = core::cli::parse(argc, argv);
-    core::cli::warnUnknown(opt);
+    core::cli::Options opt = core::cli::parse(argc, argv);
     const std::string app = opt.positionalOr(0, "ocean");
     const std::uint64_t size = opt.positionalOr(1, std::uint64_t{0});
     const int procs = static_cast<int>(
@@ -52,7 +51,11 @@ try {
                       std::to_string(procs) + " procs");
     core::SeqBaselineCache cache;
 
-    const sim::MachineConfig base = sim::MachineConfig::origin2000(procs);
+    // --protocol / --dir-format reshape the baseline every variation
+    // below starts from.
+    sim::MachineConfig base = sim::MachineConfig::origin2000(procs);
+    core::cli::applyMachine(opt, base);
+    core::cli::warnUnknown(opt);
     runCase("baseline (manual placement)", base, app, size, cache);
 
     sim::MachineConfig rr = base;
@@ -84,6 +87,23 @@ try {
     fop.syncKind = sim::SyncKind::FetchOp;
     fop.barrierAlg = sim::BarrierAlg::Centralized;
     runCase("fetch&op centralized sync", fop, app, size, cache);
+
+    sim::MachineConfig moesi = base;
+    moesi.protocol.parse("moesi");
+    runCase("MOESI (owner-forwarded sharing)", moesi, app, size, cache);
+
+    sim::MachineConfig dragon = base;
+    dragon.protocol.parse("dragon");
+    runCase("Dragon (update-based writes)", dragon, app, size, cache);
+
+    sim::MachineConfig coarse = base;
+    coarse.dirFormat.parse("coarse:8");
+    runCase("coarse-vector directory (K=8)", coarse, app, size, cache);
+
+    sim::MachineConfig dirib = base;
+    dirib.dirFormat.parse("ptr:4");
+    runCase("limited-pointer directory (4 ptrs)", dirib, app, size,
+            cache);
 
     return 0;
 } catch (const std::exception& e) {

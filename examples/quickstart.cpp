@@ -30,7 +30,10 @@ main(int argc, char** argv)
     // 1. Configure a machine: 64 processors, 2 per node, calibrated to
     //    the SGI Origin2000's latencies (Table 1 of the paper).
     sim::MachineConfig cfg = sim::MachineConfig::origin2000(64);
-    const core::cli::Options opt = core::cli::parse(argc, argv);
+    core::cli::Options opt = core::cli::parse(argc, argv);
+    // --protocol / --dir-format (CCNUMA_PROTOCOL / CCNUMA_DIR) swap
+    // the coherence protocol and directory sharer format.
+    core::cli::applyMachine(opt, cfg);
     core::cli::warnUnknown(opt);
     cfg.mappingSeed = opt.seed; // --seed / CCNUMA_SEED
     const std::string trace_file = opt.traceFile;

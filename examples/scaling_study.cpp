@@ -37,7 +37,10 @@ using namespace ccnuma;
 int
 main(int argc, char** argv)
 try {
-    const core::cli::Options opt = core::cli::parse(argc, argv);
+    core::cli::Options opt = core::cli::parse(argc, argv);
+    // --protocol / --dir-format apply to every machine in the grid.
+    sim::MachineConfig proto = sim::MachineConfig::origin2000(2);
+    core::cli::applyMachine(opt, proto);
     core::cli::warnUnknown(opt);
     const std::string app = opt.positionalOr(0, "water-spatial");
     const std::uint64_t size = opt.positionalOr(1, std::uint64_t{0});
@@ -52,6 +55,8 @@ try {
     core::StudyPlan plan;
     for (const int P : sizes) {
         sim::MachineConfig cfg = sim::MachineConfig::origin2000(P);
+        cfg.protocol = proto.protocol;
+        cfg.dirFormat = proto.dirFormat;
         // --seed / CCNUMA_SEED steers every randomized machine policy
         // (only the topology-mapping permutation today).
         cfg.mappingSeed = opt.seed;
@@ -94,6 +99,7 @@ try {
 
     if (!opt.jsonFile.empty()) {
         core::MetricsSink sink(opt.jsonFile);
+        sink.setMachine(proto);
         res.emit(sink);
         if (sink.write())
             std::printf("wrote %s\n", opt.jsonFile.c_str());

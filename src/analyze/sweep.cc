@@ -13,11 +13,18 @@ AppRaceResult
 analyzeApp(const std::string& name, int procs, std::uint64_t size,
            DetectorOptions opt)
 {
+    return analyzeApp(name, sim::MachineConfig::origin2000(procs), size,
+                      opt);
+}
+
+AppRaceResult
+analyzeApp(const std::string& name, const sim::MachineConfig& cfg,
+           std::uint64_t size, DetectorOptions opt)
+{
     AppRaceResult out;
     out.app = name;
     out.size = size != 0 ? size : check::goldenSize(name);
 
-    const sim::MachineConfig cfg = sim::MachineConfig::origin2000(procs);
     sim::Machine m(cfg);
     const apps::AppPtr app = apps::makeApp(name, out.size);
     app->setup(m);
@@ -35,11 +42,17 @@ analyzeApp(const std::string& name, int procs, std::uint64_t size,
 std::vector<AppRaceResult>
 analyzeAllApps(int procs, DetectorOptions opt)
 {
+    return analyzeAllApps(sim::MachineConfig::origin2000(procs), opt);
+}
+
+std::vector<AppRaceResult>
+analyzeAllApps(const sim::MachineConfig& cfg, DetectorOptions opt)
+{
     std::vector<AppRaceResult> out;
     const auto& names = apps::listApps();
     out.reserve(names.size());
     for (const std::string& name : names)
-        out.push_back(analyzeApp(name, procs, 0, opt));
+        out.push_back(analyzeApp(name, cfg, 0, opt));
     return out;
 }
 

@@ -53,8 +53,22 @@ AppRaceResult analyzeApp(const std::string& name, int procs = 4,
                          std::uint64_t size = 0,
                          DetectorOptions opt = {});
 
+/**
+ * Same, on an explicit machine shape — the way to race-sweep a
+ * non-default coherence protocol or directory format
+ * (cfg.protocol / cfg.dirFormat).
+ */
+AppRaceResult analyzeApp(const std::string& name,
+                         const sim::MachineConfig& cfg,
+                         std::uint64_t size = 0,
+                         DetectorOptions opt = {});
+
 /// analyzeApp over every apps::listApps() variant.
 std::vector<AppRaceResult> analyzeAllApps(int procs = 4,
+                                          DetectorOptions opt = {});
+
+/// analyzeAllApps on an explicit machine shape.
+std::vector<AppRaceResult> analyzeAllApps(const sim::MachineConfig& cfg,
                                           DetectorOptions opt = {});
 
 /// Record one app result's detector statistics under label

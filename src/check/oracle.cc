@@ -7,6 +7,8 @@ namespace ccnuma::check {
 ScOracle::ScOracle(const sim::MemSys& mem)
     : mem_(mem),
       cadence_(mem.config().check.validateEvery),
+      updateBased_(
+          sim::Protocol::get(mem.config().protocol.kind).updateBased),
       cached_(mem.config().numProcs)
 {
 }
@@ -118,16 +120,23 @@ ScOracle::onStore(sim::ProcId p, sim::LineAddr line)
     ++commit_;
     // Single-writer invariant: a store commits only after every other
     // copy has been invalidated. A skipped invalidation fails here at
-    // the very store that should have killed the stale copy.
-    for (std::size_t q = 0; q < cached_.size(); ++q) {
-        if (static_cast<sim::ProcId>(q) == p)
-            continue;
-        if (cached_[q].count(line)) {
-            record("single-writer violation: store by proc " +
-                       std::to_string(p) + " to line " + lineStr(line) +
-                       " committed while proc " + std::to_string(q) +
-                       " still holds a copy (missed invalidation)",
-                   p, line);
+    // the very store that should have killed the stale copy. Does not
+    // apply under an update-based protocol (Dragon), where remote
+    // copies legitimately survive a store and are refreshed by the
+    // onUpdate commits that follow it; a *missed* update still fails
+    // at the stale copy's next load.
+    if (!updateBased_) {
+        for (std::size_t q = 0; q < cached_.size(); ++q) {
+            if (static_cast<sim::ProcId>(q) == p)
+                continue;
+            if (cached_[q].count(line)) {
+                record("single-writer violation: store by proc " +
+                           std::to_string(p) + " to line " +
+                           lineStr(line) + " committed while proc " +
+                           std::to_string(q) +
+                           " still holds a copy (missed invalidation)",
+                       p, line);
+            }
         }
     }
     const Version v = ++nextVersion_;
@@ -147,6 +156,23 @@ ScOracle::onInval(sim::ProcId p, sim::LineAddr line)
 }
 
 void
+ScOracle::onUpdate(sim::ProcId p, sim::LineAddr line)
+{
+    // An update transaction refreshed proc p's copy in place with the
+    // store that just committed; golden_[line] holds that version.
+    const auto it = cached_[p].find(line);
+    if (it == cached_[p].end()) {
+        record("protocol updated line " + lineStr(line) + " at proc " +
+                   std::to_string(p) +
+                   " which holds no copy (shadow-cache desync)",
+               p, line);
+        return;
+    }
+    const auto g = golden_.find(line);
+    it->second = g == golden_.end() ? 0 : g->second.version;
+}
+
+void
 ScOracle::onDowngrade(sim::ProcId owner, sim::LineAddr line)
 {
     const auto it = cached_[owner].find(line);
@@ -158,6 +184,20 @@ ScOracle::onDowngrade(sim::ProcId owner, sim::LineAddr line)
         return;
     }
     memImage_[line] = it->second; // dirty data written back to home
+}
+
+void
+ScOracle::onShareDirty(sim::ProcId owner, sim::LineAddr line)
+{
+    // Owner-forwarding read sharing (MOESI Owned / Dragon Sm): the
+    // owner supplied the reader directly and memory stays stale —
+    // unlike onDowngrade there is NO memImage_ write. The reader's
+    // own fill is checked by the onLoad(Owner) that follows.
+    if (cached_[owner].count(line) == 0)
+        record("owner-forward of line " + lineStr(line) +
+                   " from proc " + std::to_string(owner) +
+                   " which holds no copy (shadow-cache desync)",
+               owner, line);
 }
 
 void

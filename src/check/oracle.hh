@@ -1,7 +1,7 @@
 /**
  * @file
- * Sequential-consistency data-value oracle for the MESI directory
- * protocol.
+ * Sequential-consistency data-value oracle for the directory
+ * protocols (MESI, MOESI, and update-based Dragon).
  *
  * The simulator carries no data (applications only issue addresses),
  * so the oracle supplies the data model: every store commit mints a
@@ -64,7 +64,9 @@ class ScOracle final : public sim::CommitObserver
                 sim::ProcId supplier) override;
     void onStore(sim::ProcId p, sim::LineAddr line) override;
     void onInval(sim::ProcId p, sim::LineAddr line) override;
+    void onUpdate(sim::ProcId p, sim::LineAddr line) override;
     void onDowngrade(sim::ProcId owner, sim::LineAddr line) override;
+    void onShareDirty(sim::ProcId owner, sim::LineAddr line) override;
     void onWriteback(sim::ProcId p, sim::LineAddr line) override;
     void onEvict(sim::ProcId p, sim::LineAddr line) override;
 
@@ -99,6 +101,12 @@ class ScOracle final : public sim::CommitObserver
 
     const sim::MemSys& mem_;
     std::uint64_t cadence_ = 0;
+    /// Update-based protocol (Dragon): stores refresh remote copies in
+    /// place instead of invalidating them, so the single-writer check
+    /// does not apply. Stale copies are still caught — a missed update
+    /// leaves the old version in the shadow cache and the next load of
+    /// it fails the golden-memory comparison.
+    bool updateBased_ = false;
 
     std::uint64_t commit_ = 0;
     std::uint64_t loadsChecked_ = 0;

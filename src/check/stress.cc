@@ -364,6 +364,9 @@ execute(const StressProgram& prog, const StressOptions& opt,
             h = fnv1a(h, st.c.upgrades);
             h = fnv1a(h, st.c.invalsSent);
             h = fnv1a(h, st.c.invalsReceived);
+            h = fnv1a(h, st.c.invalsSpurious);
+            h = fnv1a(h, st.c.updatesSent);
+            h = fnv1a(h, st.c.updatesReceived);
             h = fnv1a(h, st.c.writebacks);
             h = fnv1a(h, st.c.prefetchesIssued);
             h = fnv1a(h, st.c.prefetchesUseful);

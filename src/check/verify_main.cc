@@ -40,8 +40,24 @@
  *       self-contained dashboard (verdict cards, per-epoch stacked
  *       breakdown, miss-latency heatmap, hot-line table).
  *
+ *   ccnuma_verify protocols [--seeds=K] [--procs=P] [--ops=N]
+ *                           [--apps=A,B,..] [--diag-procs=P1,P2,..]
+ *                           [--json=FILE]
+ *       Sweep the full coherence cross-product — {mesi, moesi, dragon}
+ *       x {fullbv, coarse:4, ptr:2} — and for every combination run
+ *       K-seed randomized stress under the SC oracle, the all-apps
+ *       oracle sweep, the all-apps race analysis, and a scaling
+ *       diagnosis of the --apps subset. Prints a comparison grid and
+ *       flags apps whose scaling verdict differs across combinations.
+ *
  *   ccnuma_verify help  (also --help, -h)
  *       Print the full subcommand reference and exit 0.
+ *
+ * stress, races, diagnose and protocols-member runs all accept
+ * --protocol=mesi|moesi|dragon and --dir-format=fullbv|coarse:K|ptr:N
+ * (CCNUMA_PROTOCOL / CCNUMA_DIR) to pick the coherence machine;
+ * golden intentionally does not: the committed baseline pins the
+ * default MESI + full-bit-vector machine.
  *
  * Exit status: 0 = verified, 1 = verification failure, 2 = usage.
  */
@@ -49,15 +65,19 @@
 #include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "analyze/sweep.hh"
+#include "apps/registry.hh"
 #include "check/golden.hh"
+#include "check/oracle.hh"
 #include "check/shrink.hh"
 #include "check/stress.hh"
 #include "core/cli.hh"
 #include "core/metrics.hh"
 #include "diagnose/diagnose.hh"
 #include "diagnose/html.hh"
+#include "sim/machine.hh"
 
 namespace {
 
@@ -84,7 +104,18 @@ constexpr const char* kUsage =
     "              [--app=NAME|--all] [--procs=P1,P2,..] [--size=N]\n"
     "              [--epoch-cycles=N] [--jobs=N] [--json=FILE]\n"
     "              [--html=FILE]\n"
+    "  protocols sweep the protocol x directory-format cross-product\n"
+    "            ({mesi,moesi,dragon} x {fullbv,coarse:4,ptr:2}):\n"
+    "            per combination, seeded stress + all-apps oracle\n"
+    "            sweep + all-apps race analysis + scaling diagnosis of\n"
+    "            the --apps subset, printed as a comparison grid\n"
+    "              [--seeds=K] [--procs=P] [--ops=N] [--apps=A,B,..]\n"
+    "              [--diag-procs=P1,P2,..] [--json=FILE]\n"
     "  help      print this reference (also --help, -h)\n"
+    "\n"
+    "stress/races/diagnose also take --protocol=mesi|moesi|dragon and\n"
+    "--dir-format=fullbv|coarse:K|ptr:N (env CCNUMA_PROTOCOL /\n"
+    "CCNUMA_DIR); golden always pins the default mesi+fullbv machine\n"
     "\n"
     "exit status: 0 = verified, 1 = verification failure, 2 = usage\n";
 
@@ -124,10 +155,11 @@ runStressCmd(core::cli::Options& opt)
         return 2;
     const bool shrinkWitness = opt.takeSwitch("shrink");
     const bool mutate = opt.takeSwitch("mutate");
-    if (!core::cli::warnUnknown(opt))
-        return 2;
 
     check::StressOptions base;
+    core::cli::applyMachine(opt, base.machine);
+    if (!core::cli::warnUnknown(opt))
+        return 2;
     base.seed = opt.seed;
     base.procs = static_cast<int>(procs);
     base.opsPerProc = static_cast<int>(ops);
@@ -269,13 +301,15 @@ printRaceApp(const analyze::AppRaceResult& r)
 
 int
 runRaceMutateCmd(std::uint64_t seed0, std::uint64_t seeds,
-                 std::uint64_t procs, std::uint64_t ops)
+                 std::uint64_t procs, std::uint64_t ops,
+                 const sim::MachineConfig& machine)
 {
 #ifndef CCNUMA_CHECK_MUTATE
     (void)seed0;
     (void)seeds;
     (void)procs;
     (void)ops;
+    (void)machine;
     std::fprintf(stderr, "mutation hooks not compiled in "
                          "(build with -DCCNUMA_CHECK_MUTATE=ON)\n");
     return 2;
@@ -285,6 +319,8 @@ runRaceMutateCmd(std::uint64_t seed0, std::uint64_t seeds,
         check::StressOptions o = analyze::raceStressOptions(seed0 + i);
         o.procs = static_cast<int>(procs);
         o.opsPerProc = static_cast<int>(ops);
+        o.machine.protocol = machine.protocol;
+        o.machine.dirFormat = machine.dirFormat;
         const check::StressProgram prog = check::generate(o);
 
         // Clean run first: a disciplined program must analyze race-free
@@ -347,6 +383,9 @@ runRacesCmd(core::cli::Options& opt)
     const bool hasApp = opt.takeFlag("app", appName);
     const bool all = opt.takeSwitch("all");
     const bool mutate = opt.takeSwitch("mutate");
+    sim::MachineConfig machine =
+        sim::MachineConfig::origin2000(static_cast<int>(procs));
+    core::cli::applyMachine(opt, machine);
     if (!core::cli::warnUnknown(opt))
         return 2;
     if (hasApp && all) {
@@ -355,20 +394,20 @@ runRacesCmd(core::cli::Options& opt)
     }
 
     if (mutate)
-        return runRaceMutateCmd(opt.seed, seeds, procs, ops);
+        return runRaceMutateCmd(opt.seed, seeds, procs, ops, machine);
 
     core::MetricsSink sink(opt.jsonFile);
+    sink.setMachine(machine);
     std::vector<analyze::AppRaceResult> results;
     if (hasApp) {
         try {
-            results.push_back(
-                analyze::analyzeApp(appName, static_cast<int>(procs)));
+            results.push_back(analyze::analyzeApp(appName, machine));
         } catch (const std::invalid_argument& e) {
             std::fprintf(stderr, "error: %s\n", e.what());
             return 1;
         }
     } else {
-        results = analyze::analyzeAllApps(static_cast<int>(procs));
+        results = analyze::analyzeAllApps(machine);
     }
 
     std::uint64_t racy = 0;
@@ -433,6 +472,10 @@ runDiagnoseCmd(core::cli::Options& opt)
     const bool all = opt.takeSwitch("all");
     std::string htmlPath;
     const bool hasHtml = opt.takeFlag("html", htmlPath);
+    sim::MachineConfig machine = sim::MachineConfig::origin2000(2);
+    core::cli::applyMachine(opt, machine);
+    dopt.protocol = machine.protocol;
+    dopt.dirFormat = machine.dirFormat;
     if (!core::cli::warnUnknown(opt))
         return 2;
     if (hasApp && all) {
@@ -455,6 +498,7 @@ runDiagnoseCmd(core::cli::Options& opt)
 
     std::uint64_t failed = 0;
     core::MetricsSink sink(opt.jsonFile);
+    sink.setMachine(machine);
     for (const diagnose::AppDiagnosis& d : results) {
         printDiagnosis(d);
         diagnose::emitMetrics(d, sink);
@@ -486,6 +530,294 @@ runDiagnoseCmd(core::cli::Options& opt)
     return 0;
 }
 
+// ---- protocols: the coherence cross-product comparison grid ----
+
+/// One protocol x directory-format combination's verification record.
+struct ComboResult {
+    std::string proto;
+    std::string dir;
+    std::uint64_t stressFailures = 0; ///< Seeds whose oracle fired.
+    std::uint64_t oracleBadApps = 0;  ///< Apps with SC violations.
+    std::uint64_t racyApps = 0;       ///< Apps with reported races.
+    /// Diagnosed app -> compact verdict ("scales/<cause>" form),
+    /// keyed in --apps order.
+    std::vector<std::string> verdicts;
+
+    std::string label() const { return proto + "+" + dir; }
+    bool clean() const
+    {
+        return stressFailures == 0 && oracleBadApps == 0 &&
+               racyApps == 0;
+    }
+};
+
+/// Every registered app under the SC oracle at the appsweep shape
+/// (4 procs, 256 KB caches, 1K-commit validate cadence). Returns the
+/// number of apps with violations and appends their names + first
+/// violation to `bad`.
+std::uint64_t
+oracleSweep(const sim::MachineConfig& combo,
+            std::vector<std::string>& bad)
+{
+    std::uint64_t failures = 0;
+    for (const std::string& name : apps::listApps()) {
+        sim::MachineConfig cfg = sim::MachineConfig::origin2000(4);
+        cfg.cacheBytes = 256u << 10;
+        cfg.check.validateEvery = 1024;
+        cfg.protocol = combo.protocol;
+        cfg.dirFormat = combo.dirFormat;
+        sim::Machine m(cfg);
+        const apps::AppPtr app =
+            apps::makeApp(name, check::goldenSize(name));
+        app->setup(m);
+        check::ScOracle oracle(m.mem());
+        m.mem().attachCommitObserver(&oracle);
+        m.run(app->program());
+        std::string what;
+        if (oracle.failed())
+            what = oracle.violations().front().what;
+        else if (!m.mem().validateCoherence().empty())
+            what = m.mem().validateCoherence().front();
+        if (what.empty())
+            continue;
+        ++failures;
+        bad.push_back(name + ": " + what);
+    }
+    return failures;
+}
+
+/// Compact one-cell verdict for the comparison grid.
+std::string
+shortVerdict(const diagnose::AppDiagnosis& d)
+{
+    if (!d.ok)
+        return "FAILED";
+    std::string cause = d.ranked.empty()
+                            ? "none"
+                            : diagnose::causeTitle(
+                                  d.ranked.front().cause);
+    for (char& ch : cause)
+        if (ch == ' ')
+            ch = '-';
+    return std::string(d.scalesWell ? "scales" : "poor") + "/" + cause;
+}
+
+int
+runProtocolsCmd(core::cli::Options& opt)
+{
+    std::uint64_t seeds = 3;
+    std::uint64_t procs = 8;
+    std::uint64_t ops = 150;
+    if (!takeU64(opt, "seeds", seeds) ||
+        !takeU64(opt, "procs", procs) || !takeU64(opt, "ops", ops))
+        return 2;
+
+    std::vector<std::string> diagApps = {"fft", "ocean", "radix"};
+    std::string appsList;
+    if (opt.takeFlag("apps", appsList)) {
+        diagApps.clear();
+        std::string cur;
+        for (const char ch : appsList + ",") {
+            if (ch != ',') {
+                cur += ch;
+                continue;
+            }
+            if (!cur.empty())
+                diagApps.push_back(cur);
+            cur.clear();
+        }
+    }
+
+    std::vector<int> diagProcs = {1, 8, 32};
+    std::string diagProcsList;
+    if (opt.takeFlag("diag-procs", diagProcsList)) {
+        std::vector<std::uint64_t> grid;
+        if (!core::cli::parseU64List(diagProcsList, grid)) {
+            std::fprintf(stderr,
+                         "malformed --diag-procs=%s "
+                         "(want e.g. --diag-procs=1,8,32)\n",
+                         diagProcsList.c_str());
+            return 2;
+        }
+        diagProcs.clear();
+        for (std::uint64_t p : grid)
+            diagProcs.push_back(static_cast<int>(p));
+    }
+    if (!core::cli::warnUnknown(opt))
+        return 2;
+
+    const std::vector<std::string> protoNames = {"mesi", "moesi",
+                                                 "dragon"};
+    const std::vector<std::string> dirNames = {"fullbv", "coarse:4",
+                                               "ptr:2"};
+
+    core::MetricsSink sink(opt.jsonFile);
+    std::vector<ComboResult> combos;
+    for (const std::string& pn : protoNames) {
+        for (const std::string& dn : dirNames) {
+            sim::MachineConfig machine =
+                sim::MachineConfig::origin2000(
+                    static_cast<int>(procs));
+            if (!machine.protocol.parse(pn) ||
+                !machine.dirFormat.parse(dn)) {
+                std::fprintf(stderr, "internal: bad combo %s+%s\n",
+                             pn.c_str(), dn.c_str());
+                return 2;
+            }
+            ComboResult cr;
+            cr.proto = pn;
+            cr.dir = dn;
+            std::printf("== %s ==\n", cr.label().c_str());
+
+            // 1. Randomized stress under the SC oracle.
+            for (std::uint64_t i = 0; i < seeds; ++i) {
+                check::StressOptions o;
+                o.seed = opt.seed + i;
+                o.procs = static_cast<int>(procs);
+                o.opsPerProc = static_cast<int>(ops);
+                o.machine.protocol = machine.protocol;
+                o.machine.dirFormat = machine.dirFormat;
+                const check::StressReport rep = check::runStress(o);
+                if (!rep.failed)
+                    continue;
+                ++cr.stressFailures;
+                std::printf("  stress seed %llu FAILED: %s\n",
+                            static_cast<unsigned long long>(o.seed),
+                            rep.message.c_str());
+                const check::ShrinkResult sh =
+                    check::shrink(check::generate(o), o);
+                std::printf("  shrunk witness: %llu ops\n%s",
+                            static_cast<unsigned long long>(
+                                sh.opsAfter),
+                            check::formatWitness(sh.program).c_str());
+            }
+
+            // 2. Every registered app under the SC oracle.
+            std::vector<std::string> oracleBad;
+            cr.oracleBadApps = oracleSweep(machine, oracleBad);
+            for (const std::string& b : oracleBad)
+                std::printf("  oracle: %s\n", b.c_str());
+
+            // 3. Every registered app under the race analyzer.
+            sim::MachineConfig raceCfg =
+                sim::MachineConfig::origin2000(4);
+            raceCfg.protocol = machine.protocol;
+            raceCfg.dirFormat = machine.dirFormat;
+            for (const analyze::AppRaceResult& r :
+                 analyze::analyzeAllApps(raceCfg)) {
+                if (r.races.empty())
+                    continue;
+                ++cr.racyApps;
+                std::printf("  races: %s: %s\n", r.app.c_str(),
+                            r.races.front().format().c_str());
+            }
+
+            // 4. Scaling diagnosis of the --apps subset.
+            diagnose::DiagnoseOptions dopt;
+            dopt.procs = diagProcs;
+            dopt.jobs = opt.jobs;
+            dopt.protocol = machine.protocol;
+            dopt.dirFormat = machine.dirFormat;
+            for (const std::string& app : diagApps) {
+                try {
+                    const diagnose::AppDiagnosis d =
+                        diagnose::diagnoseApp(app, dopt);
+                    cr.verdicts.push_back(shortVerdict(d));
+                } catch (const std::invalid_argument& e) {
+                    std::fprintf(stderr, "error: %s\n", e.what());
+                    return 2;
+                }
+            }
+
+            std::printf("  stress %llu/%llu ok, oracle %zu/%zu "
+                        "clean, races %zu/%zu free\n",
+                        static_cast<unsigned long long>(
+                            seeds - cr.stressFailures),
+                        static_cast<unsigned long long>(seeds),
+                        apps::listApps().size() -
+                            static_cast<std::size_t>(
+                                cr.oracleBadApps),
+                        apps::listApps().size(),
+                        apps::listApps().size() -
+                            static_cast<std::size_t>(cr.racyApps),
+                        apps::listApps().size());
+
+            const std::string label =
+                "protocols/" + cr.label();
+            sink.addText(label, "protocol", pn);
+            sink.addText(label, "dirFormat", dn);
+            sink.addCount(label, "stressFailures",
+                          cr.stressFailures);
+            sink.addCount(label, "oracleBadApps", cr.oracleBadApps);
+            sink.addCount(label, "racyApps", cr.racyApps);
+            for (std::size_t a = 0; a < diagApps.size(); ++a)
+                sink.addText(label, "verdict:" + diagApps[a],
+                             cr.verdicts[a]);
+            combos.push_back(std::move(cr));
+        }
+    }
+
+    // The comparison grid: one row per combo, one verdict column per
+    // diagnosed app.
+    std::printf("\n%-16s %-8s %-8s %-8s", "combo", "stress",
+                "oracle", "races");
+    for (const std::string& app : diagApps)
+        std::printf(" %-22s", app.c_str());
+    std::printf("\n");
+    for (const ComboResult& cr : combos) {
+        std::printf("%-16s %-8s %-8s %-8s", cr.label().c_str(),
+                    cr.stressFailures ? "FAIL" : "ok",
+                    cr.oracleBadApps ? "FAIL" : "ok",
+                    cr.racyApps ? "FAIL" : "ok");
+        for (const std::string& v : cr.verdicts)
+            std::printf(" %-22s", v.c_str());
+        std::printf("\n");
+    }
+
+    // Which apps change their scaling verdict when the coherence
+    // machine changes? That delta is the point of the sweep.
+    std::uint64_t deltas = 0;
+    for (std::size_t a = 0; a < diagApps.size(); ++a) {
+        bool differs = false;
+        for (const ComboResult& cr : combos)
+            if (cr.verdicts[a] != combos.front().verdicts[a])
+                differs = true;
+        if (!differs)
+            continue;
+        ++deltas;
+        std::printf("verdict delta: %-16s", diagApps[a].c_str());
+        for (const ComboResult& cr : combos)
+            if (cr.verdicts[a] != combos.front().verdicts[a])
+                std::printf(" %s=%s", cr.label().c_str(),
+                            cr.verdicts[a].c_str());
+        std::printf(" (vs %s=%s)\n",
+                    combos.front().label().c_str(),
+                    combos.front().verdicts[a].c_str());
+    }
+    if (deltas == 0)
+        std::printf("no scaling-verdict deltas across %zu "
+                    "combinations\n",
+                    combos.size());
+    sink.addCount("protocols/meta", "combos", combos.size());
+    sink.addCount("protocols/meta", "verdictDeltas", deltas);
+    if (!sink.write())
+        std::fprintf(stderr, "failed to write --json file\n");
+
+    std::uint64_t badCombos = 0;
+    for (const ComboResult& cr : combos)
+        if (!cr.clean())
+            ++badCombos;
+    if (badCombos == 0) {
+        std::printf("%zu/%zu combinations verified clean\n",
+                    combos.size(), combos.size());
+        return 0;
+    }
+    std::fprintf(stderr, "%llu/%zu combination(s) FAILED\n",
+                 static_cast<unsigned long long>(badCombos),
+                 combos.size());
+    return 1;
+}
+
 } // namespace
 
 int
@@ -513,6 +845,8 @@ main(int argc, char** argv)
         return runRacesCmd(opt);
     if (cmd == "diagnose")
         return runDiagnoseCmd(opt);
+    if (cmd == "protocols")
+        return runProtocolsCmd(opt);
     std::fprintf(stderr, "unknown command '%s'\n%s", cmd.c_str(),
                  kUsage);
     return 2;

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "sim/config.hh"
+
 namespace ccnuma::core::cli {
 
 namespace {
@@ -127,6 +129,10 @@ parse(int argc, char** argv)
         setU64("CCNUMA_SEED", env, opt.seed);
     if (const char* env = std::getenv("CCNUMA_EPOCH"))
         setU64("CCNUMA_EPOCH", env, opt.epochCycles);
+    if (const char* env = std::getenv("CCNUMA_PROTOCOL"))
+        opt.protocol = env;
+    if (const char* env = std::getenv("CCNUMA_DIR"))
+        opt.dirFormat = env;
 
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
@@ -140,6 +146,10 @@ parse(int argc, char** argv)
             setU64("--seed", seed, opt.seed);
         else if (const char* epoch = flagValue(arg, "epoch-cycles"))
             setU64("--epoch-cycles", epoch, opt.epochCycles);
+        else if (const char* proto = flagValue(arg, "protocol"))
+            opt.protocol = proto;
+        else if (const char* dir = flagValue(arg, "dir-format"))
+            opt.dirFormat = dir;
         else if (std::strncmp(arg, "--", 2) == 0)
             opt.unknown.emplace_back(arg);
         else
@@ -149,18 +159,36 @@ parse(int argc, char** argv)
 }
 
 bool
+applyMachine(Options& opt, sim::MachineConfig& cfg)
+{
+    bool ok = true;
+    if (!opt.protocol.empty() && !cfg.protocol.parse(opt.protocol)) {
+        opt.malformed.push_back("--protocol=" + opt.protocol +
+                                " (want mesi|moesi|dragon)");
+        ok = false;
+    }
+    if (!opt.dirFormat.empty() && !cfg.dirFormat.parse(opt.dirFormat)) {
+        opt.malformed.push_back("--dir-format=" + opt.dirFormat +
+                                " (want fullbv|coarse:K|ptr:N)");
+        ok = false;
+    }
+    return ok;
+}
+
+bool
 warnUnknown(const Options& opt)
 {
     for (const std::string& f : opt.malformed)
         std::fprintf(stderr,
-                     "warning: malformed numeric value in %s "
+                     "warning: malformed value in %s "
                      "(keeping the default)\n",
                      f.c_str());
     for (const std::string& f : opt.unknown)
         std::fprintf(stderr,
                      "warning: unknown flag %s (known: --trace=FILE "
                      "--json=FILE --jobs=N --seed=N "
-                     "--epoch-cycles=N)\n",
+                     "--epoch-cycles=N --protocol=P "
+                     "--dir-format=F)\n",
                      f.c_str());
     return opt.unknown.empty() && opt.malformed.empty();
 }

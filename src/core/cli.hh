@@ -16,6 +16,14 @@
  *                  (0 = the TraceConfig default); tunes the time
  *                  resolution of epoch series and dashboards without
  *                  recompiling. Env fallback: CCNUMA_EPOCH
+ *   --protocol=P   coherence protocol: mesi | moesi | dragon
+ *                  (env fallback: CCNUMA_PROTOCOL)
+ *   --dir-format=F directory sharer format: fullbv | coarse:K | ptr:N
+ *                  (env fallback: CCNUMA_DIR)
+ *
+ * The protocol/directory selections are applied to a
+ * sim::MachineConfig with applyMachine(); a value that does not parse
+ * is reported through `malformed` and the machine default is kept.
  *
  * Flags beat environment variables. Numeric flag values are parsed
  * strictly: a malformed value (e.g. --jobs=abc) is reported in
@@ -33,6 +41,10 @@
 #include <string>
 #include <vector>
 
+namespace ccnuma::sim {
+struct MachineConfig;
+}
+
 namespace ccnuma::core::cli {
 
 struct Options {
@@ -44,6 +56,12 @@ struct Options {
     /// sim::TraceConfig default (drivers apply it to
     /// cfg.trace.epochCycles when non-zero).
     std::uint64_t epochCycles = 0;
+    /// Coherence protocol name ("mesi" | "moesi" | "dragon"); empty =
+    /// keep the MachineConfig default. Applied by applyMachine().
+    std::string protocol;
+    /// Directory format ("fullbv" | "coarse:K" | "ptr:N"); empty =
+    /// keep the MachineConfig default. Applied by applyMachine().
+    std::string dirFormat;
     std::vector<std::string> positional;
     std::vector<std::string> unknown;
     /// Flags whose numeric value did not parse ("--jobs=abc"); the
@@ -80,6 +98,13 @@ bool parseU64(const std::string& text, std::uint64_t& out);
 /// element or empty input.
 bool parseU64List(const std::string& text,
                   std::vector<std::uint64_t>& out);
+
+/// Apply the --protocol / --dir-format selections to `cfg`
+/// (cfg.protocol / cfg.dirFormat). A value that does not parse keeps
+/// the machine default and is appended to opt.malformed, so a later
+/// warnUnknown() surfaces it; returns false in that case. Call once
+/// per driver, before warnUnknown().
+bool applyMachine(Options& opt, sim::MachineConfig& cfg);
 
 /// Print a warning per unknown flag and per malformed numeric value;
 /// returns true if there were none of either.

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "obs/json.hh"
+#include "sim/config.hh"
 
 namespace ccnuma::core {
 
@@ -15,6 +16,13 @@ MetricsSink::entry(const std::string& label)
     entries_.push_back(Entry{});
     entries_.back().label = label;
     return entries_.back();
+}
+
+void
+MetricsSink::setMachine(const sim::MachineConfig& cfg)
+{
+    machineProtocol_ = cfg.protocol.name();
+    machineDirFormat_ = cfg.dirFormat.name();
 }
 
 void
@@ -90,6 +98,12 @@ MetricsSink::write() const
     obs::JsonWriter w(f, 2);
     w.beginObject();
     w.field("generator", "ccnuma-scale metrics sink");
+    if (!machineProtocol_.empty()) {
+        w.beginObject("machine");
+        w.field("protocol", machineProtocol_);
+        w.field("dirFormat", machineDirFormat_);
+        w.endObject();
+    }
     w.beginArray("runs");
     for (const Entry& e : entries_) {
         w.beginObject();
@@ -117,6 +131,8 @@ MetricsSink::write() const
             w.field("missRemoteDirty", c.missRemoteDirty);
             w.field("upgrades", c.upgrades);
             w.field("invalsSent", c.invalsSent);
+            w.field("invalsSpurious", c.invalsSpurious);
+            w.field("updatesSent", c.updatesSent);
             w.field("writebacks", c.writebacks);
             w.field("prefetchesIssued", c.prefetchesIssued);
             w.field("prefetchesUseful", c.prefetchesUseful);

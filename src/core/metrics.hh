@@ -16,6 +16,10 @@
 
 #include "sim/stats.hh"
 
+namespace ccnuma::sim {
+struct MachineConfig;
+}
+
 namespace ccnuma::core {
 
 /**
@@ -29,6 +33,11 @@ class MetricsSink
     explicit MetricsSink(std::string path) : path_(std::move(path)) {}
 
     bool enabled() const { return !path_.empty(); }
+
+    /// Record the machine identity the runs used — coherence protocol
+    /// and directory sharer format — emitted once as a top-level
+    /// "machine" object so every payload says what it measured.
+    void setMachine(const sim::MachineConfig& cfg);
 
     /// Record one run under `label` (breakdown, totals, run time).
     void add(const std::string& label, const sim::RunResult& r);
@@ -62,6 +71,8 @@ class MetricsSink
     Entry& entry(const std::string& label);
 
     std::string path_;
+    std::string machineProtocol_;
+    std::string machineDirFormat_;
     std::vector<Entry> entries_;
 };
 

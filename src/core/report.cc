@@ -89,8 +89,8 @@ printCounters(const std::string& label, const sim::ProcCounters& c)
 {
     std::printf(
         "%-28s loads %llu stores %llu hits %llu missL %llu missRC %llu "
-        "missRD %llu upg %llu inv %llu wb %llu pf %llu/%llu mig %llu "
-        "lk %llu bar %llu\n",
+        "missRD %llu upg %llu inv %llu spur %llu upd %llu wb %llu "
+        "pf %llu/%llu mig %llu lk %llu bar %llu\n",
         label.c_str(),
         static_cast<unsigned long long>(c.loads),
         static_cast<unsigned long long>(c.stores),
@@ -100,6 +100,8 @@ printCounters(const std::string& label, const sim::ProcCounters& c)
         static_cast<unsigned long long>(c.missRemoteDirty),
         static_cast<unsigned long long>(c.upgrades),
         static_cast<unsigned long long>(c.invalsSent),
+        static_cast<unsigned long long>(c.invalsSpurious),
+        static_cast<unsigned long long>(c.updatesSent),
         static_cast<unsigned long long>(c.writebacks),
         static_cast<unsigned long long>(c.prefetchesUseful),
         static_cast<unsigned long long>(c.prefetchesIssued),

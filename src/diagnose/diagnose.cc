@@ -293,6 +293,8 @@ diagnoseImpl(const std::string& label, const core::AppFactory& factory,
     AppDiagnosis d;
     d.app = label;
     d.size = size;
+    d.protocol = opt.protocol.name();
+    d.dirFormat = opt.dirFormat.name();
 
     std::vector<int> grid = opt.procs;
     std::sort(grid.begin(), grid.end());
@@ -308,6 +310,8 @@ diagnoseImpl(const std::string& label, const core::AppFactory& factory,
     core::StudyPlan plan;
     for (std::size_t i = 0; i < grid.size(); ++i) {
         sim::MachineConfig cfg = sim::MachineConfig::origin2000(grid[i]);
+        cfg.protocol = opt.protocol;
+        cfg.dirFormat = opt.dirFormat;
         cfg.trace.intervals = true;
         cfg.trace.sharing = true;
         if (opt.epochCycles)
@@ -371,6 +375,10 @@ writeApp(obs::JsonWriter& w, const AppDiagnosis& d)
     w.beginObject();
     w.field("app", d.app);
     w.field("size", d.size);
+    w.beginObject("machine");
+    w.field("protocol", d.protocol);
+    w.field("dirFormat", d.dirFormat);
+    w.endObject();
     w.field("ok", d.ok);
     if (!d.ok) {
         w.field("error", d.error);
@@ -498,7 +506,7 @@ writeDiagnoseJson(std::ostream& os,
 {
     obs::JsonWriter w(os);
     w.beginObject();
-    w.field("schema", "ccnuma-diagnose-v1");
+    w.field("schema", "ccnuma-diagnose-v2");
     w.beginArray("apps");
     for (const AppDiagnosis& d : results)
         writeApp(w, d);
@@ -522,6 +530,8 @@ void
 emitMetrics(const AppDiagnosis& d, core::MetricsSink& sink)
 {
     const std::string& label = d.app;
+    sink.addText(label, "machine/protocol", d.protocol);
+    sink.addText(label, "machine/dirFormat", d.dirFormat);
     sink.addText(label, "verdict", d.verdict);
     if (!d.ok) {
         sink.addText(label, "error", d.error);

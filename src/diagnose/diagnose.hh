@@ -43,6 +43,7 @@
 #include "core/metrics.hh"
 #include "core/study.hh"
 #include "obs/trace.hh"
+#include "sim/protocol.hh"
 
 namespace ccnuma::diagnose {
 
@@ -133,6 +134,11 @@ struct RunObservation {
 struct AppDiagnosis {
     std::string app;
     std::uint64_t size = 0;
+    /// Machine identity the grid ran under (ProtocolConfig::name /
+    /// DirectoryConfig::name) — verdicts are only comparable within
+    /// one protocol x directory-format combination.
+    std::string protocol = "mesi";
+    std::string dirFormat = "fullbv";
     bool ok = false;
     std::string error;           ///< Set when !ok (a run failed).
     std::vector<RunObservation> runs; ///< One per grid point, in
@@ -164,6 +170,10 @@ struct DiagnoseOptions {
     int jobs = 1;
     /// Per-run progress lines on stderr.
     bool progress = false;
+    /// Coherence protocol / directory format the whole grid runs
+    /// under (defaults match MachineConfig: mesi + fullbv).
+    sim::ProtocolConfig protocol;
+    sim::DirectoryConfig dirFormat;
 };
 
 /// Diagnose a registry app by name.
@@ -181,7 +191,8 @@ AppDiagnosis diagnoseFactory(const std::string& label,
 std::vector<AppDiagnosis> diagnoseAllApps(const DiagnoseOptions& opt = {});
 
 /// Write the verdicts as one JSON document (schema
-/// "ccnuma-diagnose-v1"; strict-parser clean, byte-deterministic).
+/// "ccnuma-diagnose-v2"; strict-parser clean, byte-deterministic).
+/// v2 added the per-app "machine" object (protocol/dirFormat).
 void writeDiagnoseJson(std::ostream& os,
                        const std::vector<AppDiagnosis>& results);
 /// File wrapper; returns false on I/O error.

@@ -370,7 +370,13 @@ writeDashboard(std::ostream& os,
        << " application(s), " << scaling
        << " scaling well (&ge;60% efficiency at the largest machine); "
           "deterministic cycle-level simulation of an Origin2000-class "
-          "ccNUMA</p></header><main>";
+          "ccNUMA";
+    if (!results.empty())
+        os << " &mdash; protocol <code>"
+           << esc(results.front().protocol)
+           << "</code>, directory <code>"
+           << esc(results.front().dirFormat) << "</code>";
+    os << "</p></header><main>";
 
     if (results.size() > 1) {
         os << "<section class='card'><h2>index</h2>"

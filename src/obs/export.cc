@@ -35,6 +35,9 @@ sumCounters(const sim::RunResult& r)
         sum.upgrades += c.upgrades;
         sum.invalsSent += c.invalsSent;
         sum.invalsReceived += c.invalsReceived;
+        sum.invalsSpurious += c.invalsSpurious;
+        sum.updatesSent += c.updatesSent;
+        sum.updatesReceived += c.updatesReceived;
         sum.writebacks += c.writebacks;
         sum.prefetchesIssued += c.prefetchesIssued;
         sum.prefetchesUseful += c.prefetchesUseful;
@@ -60,6 +63,9 @@ writeCounters(JsonWriter& w, const std::string& key,
     w.field("upgrades", c.upgrades);
     w.field("invalsSent", c.invalsSent);
     w.field("invalsReceived", c.invalsReceived);
+    w.field("invalsSpurious", c.invalsSpurious);
+    w.field("updatesSent", c.updatesSent);
+    w.field("updatesReceived", c.updatesReceived);
     w.field("writebacks", c.writebacks);
     w.field("prefetchesIssued", c.prefetchesIssued);
     w.field("prefetchesUseful", c.prefetchesUseful);

@@ -39,6 +39,9 @@ EpochSeries::sumCounters() const
         sum.upgrades += c.upgrades;
         sum.invalsSent += c.invalsSent;
         sum.invalsReceived += c.invalsReceived;
+        sum.invalsSpurious += c.invalsSpurious;
+        sum.updatesSent += c.updatesSent;
+        sum.updatesReceived += c.updatesReceived;
         sum.writebacks += c.writebacks;
         sum.prefetchesIssued += c.prefetchesIssued;
         sum.prefetchesUseful += c.prefetchesUseful;

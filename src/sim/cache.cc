@@ -18,7 +18,8 @@ log2Exact(std::uint64_t v)
 
 } // namespace
 
-Cache::Cache(std::uint64_t bytes, int assoc, std::uint32_t line_bytes)
+Cache::Cache(std::uint64_t bytes, int assoc, std::uint32_t line_bytes,
+             const Protocol* proto)
     : lineShift_(log2Exact(line_bytes)),
       sets_(bytes / (static_cast<std::uint64_t>(line_bytes) * assoc)),
       assoc_(assoc)
@@ -30,6 +31,28 @@ Cache::Cache(std::uint64_t bytes, int assoc, std::uint32_t line_bytes)
                     sizeof(Way))));
     if (!ways_)
         throw std::bad_alloc();
+    const Protocol& pr = proto ? *proto : Protocol::mesi();
+    for (int s = 1; s < kProtoStates; ++s) {
+        switch (pr.req[kProtoWrite][s].next) {
+          case NextState::Shared:
+            writeHitNext_[s] = LineState::Shared;
+            break;
+          case NextState::Dirty:
+            writeHitNext_[s] = LineState::Dirty;
+            break;
+          case NextState::Owned:
+            writeHitNext_[s] = LineState::Owned;
+            break;
+          default:
+            // Same / OwnedIfSharers: leave the state for the engine.
+            writeHitNext_[s] = LineState::Invalid;
+            break;
+        }
+    }
+    // A write hit on Dirty takes the no-upgrade fast path; keep the
+    // slot inert whatever the table says.
+    writeHitNext_[static_cast<int>(LineState::Dirty)] =
+        LineState::Invalid;
 }
 
 LineState
@@ -56,6 +79,15 @@ Cache::downgrade(Addr addr)
     if (Way* w = find(lineOf(addr)))
         if (w->state == LineState::Dirty)
             w->state = LineState::Shared;
+}
+
+void
+Cache::setState(Addr addr, LineState st)
+{
+    Way* w = find(lineOf(addr));
+    assert(w != nullptr);
+    if (w)
+        w->state = st;
 }
 
 std::uint64_t

@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "sim/protocol.hh"
 #include "sim/types.hh"
 
 namespace ccnuma::sim {
@@ -25,12 +26,16 @@ enum class LineState : std::uint8_t {
     Invalid = 0,
     Shared = 1,
     Dirty = 2, ///< Exclusive-modified (owner).
+    Owned = 3, ///< Modified but shared; this cache supplies the data
+               ///< (MOESI Owned / Dragon Sm). Never occurs under MESI.
 };
 
 /** Result of a cache lookup-and-allocate. */
 struct CacheResult {
     bool hit = false;
-    bool upgrade = false;       ///< Hit Shared but needed ownership.
+    bool upgrade = false;       ///< Hit without write permission: the
+                                ///< store needs a coherence
+                                ///< transaction (invalidate or update).
     LineAddr victim = 0;        ///< Valid line evicted to make room.
     LineState victimState = LineState::Invalid;
 };
@@ -46,8 +51,12 @@ class Cache
      * @param bytes total capacity
      * @param assoc associativity
      * @param line_bytes line size (power of two)
+     * @param proto coherence protocol whose requester table decides
+     *        what a write hit does to the line state inline (nullptr
+     *        means MESI, preserving the historical constructor).
      */
-    Cache(std::uint64_t bytes, int assoc, std::uint32_t line_bytes);
+    Cache(std::uint64_t bytes, int assoc, std::uint32_t line_bytes,
+          const Protocol* proto = nullptr);
 
     /// Look up a line; allocates (Shared on read, Dirty on write) on
     /// miss. Defined inline below: the lookup and victim scan are fused
@@ -64,6 +73,12 @@ class Cache
 
     /// Downgrade Dirty->Shared (remote read of a line we own).
     void downgrade(Addr addr);
+
+    /// Force a resident line into `st` (protocol-engine resolution of
+    /// context-dependent next states, e.g. Dirty->Owned on an
+    /// owner-forwarded read or Dragon's Sm/Sc transitions). The line
+    /// must be resident; no LRU update.
+    void setState(Addr addr, LineState st);
 
     /// Install a line in the given state, e.g. by a prefetch.
     /// Returns eviction info like access().
@@ -136,6 +151,13 @@ class Cache
     std::uint32_t useClock_ = 0;
     std::unique_ptr<Way[], WayFree> ways_; ///< sets_*assoc_, set-major.
 
+    /// Resolved req[write][state].next per current state, applied
+    /// inline on a write hit; LineState::Invalid means "leave
+    /// unchanged, the engine resolves it" (Dragon's OwnedIfSharers).
+    /// Keeps the historical Shared->Dirty hot-path store for MESI.
+    LineState writeHitNext_[4] = {LineState::Invalid, LineState::Dirty,
+                                  LineState::Invalid, LineState::Invalid};
+
     /// One pass over a set: returns the matching way via `hit`, or
     /// leaves `hit` null and returns the fill victim (first invalid
     /// way if any, else least-recently-used — identical choice to a
@@ -176,9 +198,12 @@ Cache::access(Addr addr, bool is_write)
         hit->lastUse = useClock_;
         CacheResult r;
         r.hit = true;
-        if (is_write && hit->state == LineState::Shared) {
+        if (is_write && hit->state != LineState::Dirty) {
             r.upgrade = true;
-            hit->state = LineState::Dirty;
+            const LineState nx =
+                writeHitNext_[static_cast<int>(hit->state)];
+            if (nx != LineState::Invalid)
+                hit->state = nx;
         }
         return r;
     }

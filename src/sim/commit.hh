@@ -71,6 +71,26 @@ class CommitObserver
     virtual void onWriteback(ProcId p, LineAddr line) = 0;
     /// `p` evicted a clean line (no data movement).
     virtual void onEvict(ProcId p, LineAddr line) = 0;
+
+    /// `owner`'s modified copy was supplied to a reader *without* a
+    /// memory writeback (MOESI Owned / Dragon Sm): the owner keeps the
+    /// only up-to-date copy and home memory stays stale. Never fires
+    /// under MESI, hence the default no-op.
+    virtual void
+    onShareDirty(ProcId owner, LineAddr line)
+    {
+        (void)owner;
+        (void)line;
+    }
+    /// `p`'s valid copy absorbed the latest committed store's value in
+    /// place (update-based protocols). Fires after the onStore it
+    /// propagates. Never fires under invalidation-based protocols.
+    virtual void
+    onUpdate(ProcId p, LineAddr line)
+    {
+        (void)p;
+        (void)line;
+    }
 };
 
 } // namespace ccnuma::sim

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/protocol.hh"
 #include "sim/types.hh"
 
 namespace ccnuma::sim {
@@ -87,6 +88,12 @@ enum class CheckMutation : std::uint8_t {
                       ///< matching releases are no-ops. The race
                       ///< analyzer (ccnuma::analyze) must catch the
                       ///< resulting data races.
+    CorruptMoesiTable, ///< Corrupt the machine's (private) protocol
+                       ///< transition table: the remote-write x Shared
+                       ///< cell forgets its invalidation, leaving every
+                       ///< sharer of a written line a stale copy. Built
+                       ///< for the MOESI table self-test, but breaks any
+                       ///< invalidation-based protocol the same way.
 };
 
 /**
@@ -109,6 +116,11 @@ struct CheckConfig {
     /// of the calendar queue (cycle-identity test seam: both orders
     /// must produce bit-identical runs).
     bool legacySchedulerQueue = false;
+    /// Run MemSys::access through the preserved hard-coded MESI body
+    /// instead of the table-driven protocol engine (bit-identity test
+    /// seam; valid only for protocol=mesi + dirFormat=fullbv). Both
+    /// paths must produce bit-identical runs.
+    bool legacyMesiPath = false;
 };
 
 /**
@@ -165,9 +177,20 @@ struct MachineConfig {
     Cycles metaRouterCycles = 24;
     /// Metarouter occupancy per crossing.
     Cycles metaRouterOccupancy = 5;
-    /// Cache intervention cost at a dirty owner (3-hop transactions).
+
+    // ---- Coherence protocol & directory format ----
+    /// Protocol choice plus its latency knobs (see sim/protocol.hh).
+    /// Select with ProtocolConfig::parse("mesi"|"moesi"|"dragon").
+    ProtocolConfig protocol;
+    /// Directory sharer representation ("fullbv"|"coarse:K"|"ptr:N").
+    DirectoryConfig dirFormat;
+
+    /// DEPRECATED (one release): renamed to protocol.interventionCycles.
+    /// resolved() copies a non-default value set here into the new
+    /// field; new code should set protocol.interventionCycles directly.
     Cycles interventionCycles = 22;
-    /// Additional serialized cost per invalidated sharer.
+    /// DEPRECATED (one release): renamed to
+    /// protocol.invalPerSharerCycles; see interventionCycles above.
     Cycles invalPerSharerCycles = 4;
 
     // ---- Policies ----
@@ -243,11 +266,18 @@ struct MachineConfig {
     /// owner->requester versus a simple round trip) add on top.
     Cycles dirtyExtraCycles() const
     {
-        return 2 * hubCycles + interventionCycles;
+        return 2 * hubCycles + protocol.interventionCycles;
     }
 
     /// Validate invariants; returns an error string or empty on success.
     std::string validate() const;
+
+    /// Apply the deprecation shims: a deprecated top-level latency knob
+    /// changed from its default is copied into the protocol sub-config
+    /// (unless the sub-config was itself changed, which wins). Machine
+    /// and MemSys resolve their config copy on construction, so callers
+    /// that still set the old fields keep working for one release.
+    MachineConfig resolved() const;
 
     // ---- Named presets ----
     /// The paper's machine: an Origin2000 with `numProcs` processors

@@ -76,12 +76,20 @@ enum class DirState : std::uint8_t {
     Uncached, ///< No cached copies.
     Shared,   ///< One or more clean copies.
     Dirty,    ///< Exactly one modified copy at `owner`.
+    Owned,    ///< Modified copy at `owner` plus clean copies at the
+              ///< other sharers; `owner` (a member of `sharers`)
+              ///< supplies the data (MOESI/Dragon only).
 };
 
 /** One directory entry. */
 struct DirEntry {
     DirState state = DirState::Uncached;
     ProcId owner = kNoProc;
+    /// Limited-pointer (Dir_iB) overflow: the sharer count exceeded
+    /// the pointer budget, so invalidations broadcast to every
+    /// processor. Reset when the entry is dropped or retaken
+    /// exclusively. Always false under other directory formats.
+    bool overflow = false;
     SharerSet sharers;
 
     bool operator==(const DirEntry&) const = default;
@@ -147,6 +155,22 @@ class Directory
         for (const auto& s : shards_)
             n += s.size();
         return n;
+    }
+
+    /// Presize every shard for ~`totalLines` live entries spread
+    /// across them (ROADMAP: ~6% of directory time was FlatHashMap
+    /// rehash churn). Growth-only and allocation-only: reservation
+    /// never changes entry contents, so simulated metrics are
+    /// untouched. Safe to call repeatedly as the footprint grows.
+    void
+    reserveLines(std::uint64_t totalLines)
+    {
+        if (shards_.empty())
+            return;
+        const std::uint64_t per =
+            totalLines / shards_.size() + 1;
+        for (auto& s : shards_)
+            s.reserve(static_cast<std::size_t>(per));
     }
 
     /// Call fn(lineAddr, entry) for every entry (validation/tests).

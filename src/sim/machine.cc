@@ -8,7 +8,7 @@
 namespace ccnuma::sim {
 
 Machine::Machine(const MachineConfig& cfg)
-    : cfg_(cfg), topo_(cfg), mem_(cfg, topo_)
+    : cfg_(cfg.resolved()), topo_(cfg_), mem_(cfg_, topo_)
 {
     const std::string err = cfg_.validate();
     if (!err.empty())
@@ -23,6 +23,12 @@ Machine::alloc(std::uint64_t bytes)
     const Addr a = nextAddr_;
     const std::uint64_t page = cfg_.pageBytes;
     nextAddr_ += (bytes + page - 1) / page * page;
+    // Presize the directory shards for the growing footprint, saving
+    // the FlatHashMap rehash churn the roadmap measured at ~6% of
+    // directory time on big runs (MemSys skips small footprints,
+    // where eager reservation measures slower than natural growth).
+    // Allocation-only; simulated metrics unchanged.
+    mem_.reserveDirectory(nextAddr_);
     return a;
 }
 
@@ -173,7 +179,8 @@ Machine::barrierArrive(BarrierId b, Cpu& cpu)
         cfg_.barrierAlg == BarrierAlg::Centralized
             ? (cfg_.syncKind == SyncKind::FetchOp
                    ? cfg_.hubOccupancy
-                   : 2 * cfg_.hubOccupancy + cfg_.interventionCycles)
+                   : 2 * cfg_.hubOccupancy +
+                         cfg_.protocol.interventionCycles)
             : 2; // tournament joins are spread across the tree
     Cycles end = 0;
     for (const auto& [t, p] : bs.arrivals)

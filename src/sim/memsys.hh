@@ -30,6 +30,7 @@
 #include "sim/config.hh"
 #include "sim/directory.hh"
 #include "sim/pagetable.hh"
+#include "sim/protocol.hh"
 #include "sim/stats.hh"
 #include "sim/sync_observer.hh"
 #include "sim/topology.hh"
@@ -158,6 +159,22 @@ class MemSys
     const Directory& directory() const { return dir_; }
     const Topology& topology() const { return topo_; }
     const MachineConfig& config() const { return cfg_; }
+    /// The machine's (private, possibly mutation-corrupted) protocol
+    /// transition tables.
+    const Protocol& protocol() const { return proto_; }
+
+    /// Presize the directory shards for an application footprint of
+    /// `footprintBytes` (called by Machine::alloc as the heap grows;
+    /// capped by aggregate cache capacity, since only cached lines
+    /// have live entries, and skipped below kReserveMinLines where
+    /// natural growth is cheaper). Allocation-only: never changes
+    /// metrics.
+    void reserveDirectory(std::uint64_t footprintBytes);
+
+    /// Footprint (in lines) below which reserveDirectory() is a
+    /// no-op: small tables reach steady state in a few cheap rehashes
+    /// and eager reservation measures slower on the quick bench grid.
+    static constexpr std::uint64_t kReserveMinLines = 1ull << 17;
 
     NodeId nodeOfProcess(ProcId p) const { return procNode_[p]; }
 
@@ -221,10 +238,73 @@ class MemSys
     void handleVictim(ProcId p, Cycles now, const CacheResult& r,
                       ProcStats& st);
 
-    /// Invalidate all sharers of `line` other than `keeper`; returns the
-    /// fan-out latency component observed by the requester.
+    /// Invalidate every directory-format target of `line` other than
+    /// `requester` (and `exclude`, for an owner the 3-hop intervention
+    /// already killed); returns the fan-out latency component observed
+    /// by the requester. Targets that hold no copy (compressed-format
+    /// over-signalling) cost traffic but move no data.
     Cycles invalidateSharers(ProcId requester, NodeId home, Cycles now,
-                             LineAddr line, DirEntry& e, ProcStats& st);
+                             LineAddr line, DirEntry& e, ProcStats& st,
+                             ProcId exclude = kNoProc);
+
+    /// Update-based fan-out: push the stored value into every
+    /// directory-format target's valid copy (per the remote-write
+    /// table row). Updated processors are recorded in updatedProcs_
+    /// (cleared first) for the caller's commit hooks. Returns the
+    /// fan-out latency like invalidateSharers.
+    Cycles updateSharers(ProcId requester, NodeId home, Cycles now,
+                         LineAddr line, DirEntry& e, ProcStats& st);
+
+    /// Maintain the limited-pointer overflow bit after sharers.add().
+    void
+    noteSharers(DirEntry& e) const
+    {
+        if (cfg_.dirFormat.format == DirFormat::LimitedPtr &&
+            !e.overflow && e.sharers.count() > cfg_.dirFormat.param)
+            e.overflow = true;
+    }
+
+    /// Call fn(ProcId) for every processor the home signals on a
+    /// fan-out for this entry — exact sharers under fullbv, whole
+    /// regions under coarse:K, everybody once a ptr:N entry has
+    /// overflowed. Ascending processor order in every format.
+    template <typename Fn>
+    void
+    forEachTarget(const DirEntry& e, Fn&& fn) const
+    {
+        switch (cfg_.dirFormat.format) {
+          case DirFormat::FullBitVector:
+            e.sharers.forEach(fn);
+            return;
+          case DirFormat::CoarseVector: {
+            const int k = cfg_.dirFormat.param;
+            std::uint64_t regions[kMaxProcs / 64] = {};
+            e.sharers.forEach([&](ProcId s) {
+                const int r = s / k;
+                regions[r >> 6] |= 1ull << (r & 63);
+            });
+            for (int t = 0; t < cfg_.numProcs; ++t) {
+                const int r = t / k;
+                if (regions[r >> 6] & (1ull << (r & 63)))
+                    fn(static_cast<ProcId>(t));
+            }
+            return;
+          }
+          case DirFormat::LimitedPtr:
+            if (!e.overflow) {
+                e.sharers.forEach(fn);
+                return;
+            }
+            for (int t = 0; t < cfg_.numProcs; ++t)
+                fn(static_cast<ProcId>(t));
+            return;
+        }
+    }
+
+    /// The preserved hard-coded MESI + full-bit-vector access body
+    /// (bit-identity seam; see CheckConfig::legacyMesiPath).
+    Cycles accessLegacy(ProcId p, Cycles now, Addr addr, bool write,
+                        ProcStats& st);
 
     /// True when observability hooks should fire. Folds to a
     /// compile-time false with -DCCNUMA_TRACING=OFF, eliding every
@@ -239,7 +319,14 @@ class MemSys
     const Topology& topo_;
     PageTable pageTable_;
     Directory dir_;
+    /// Per-machine copy of the protocol's transition tables, so the
+    /// CheckMutation seam can corrupt a private cell (see ctor).
+    Protocol proto_;
     std::vector<std::unique_ptr<Cache>> caches_;
+    /// Scratch: processors refreshed by the last update fan-out, in
+    /// signalling order (consumed by the commit hooks of the access
+    /// that ran it).
+    std::vector<ProcId> updatedProcs_;
     std::vector<ProcStats>* allStats_ = nullptr;
     obs::Trace* trace_ = nullptr;
     CommitObserver* commit_ = nullptr;

@@ -1,0 +1,201 @@
+#include "sim/protocol.hh"
+
+#include <cstdlib>
+
+namespace ccnuma::sim {
+
+namespace {
+
+// Column indices follow LineState: Invalid=0, Shared=1, Dirty=2,
+// Owned=3. Cells for unreachable combinations (e.g. MESI x Owned)
+// stay at their zero value {Invalid, None} / {Same, None}; the engine
+// never consults them and the litmus tests assert which cells are
+// live per protocol.
+
+Protocol
+makeMesi()
+{
+    Protocol p;
+    p.kind = ProtocolKind::MESI;
+    p.updateBased = false;
+    p.ownerForwarding = false;
+    // Requester: read miss fills Shared; write miss fills Dirty after
+    // invalidating other copies; a write hit on Shared upgrades.
+    p.req[kProtoRead][0] = {NextState::Shared, ReqAct::Fill};
+    p.req[kProtoRead][1] = {NextState::Same, ReqAct::None};
+    p.req[kProtoRead][2] = {NextState::Same, ReqAct::None};
+    p.req[kProtoWrite][0] = {NextState::Dirty, ReqAct::Fill};
+    p.req[kProtoWrite][1] = {NextState::Dirty, ReqAct::Invalidate};
+    p.req[kProtoWrite][2] = {NextState::Same, ReqAct::None};
+    // Remote holders: a read of a dirty line downgrades the owner and
+    // writes the data back to memory; any remote write invalidates.
+    p.rem[kProtoRead][1] = {NextState::Same, RemAct::None};
+    p.rem[kProtoRead][2] = {NextState::Shared, RemAct::SupplyWriteback};
+    p.rem[kProtoWrite][1] = {NextState::Invalid, RemAct::Invalidate};
+    p.rem[kProtoWrite][2] = {NextState::Invalid, RemAct::Invalidate};
+    return p;
+}
+
+Protocol
+makeMoesi()
+{
+    Protocol p = makeMesi();
+    p.kind = ProtocolKind::MOESI;
+    p.ownerForwarding = true;
+    // Owned is a first-class requester state: reads hit, a write
+    // upgrades (invalidating the other sharers).
+    p.req[kProtoRead][3] = {NextState::Same, ReqAct::None};
+    p.req[kProtoWrite][3] = {NextState::Dirty, ReqAct::Invalidate};
+    // A remote read of a dirty line leaves the data with the owner
+    // (Dirty -> Owned, Owned -> Owned): no memory writeback, the owner
+    // keeps forwarding.
+    p.rem[kProtoRead][2] = {NextState::Owned, RemAct::SupplyKeep};
+    p.rem[kProtoRead][3] = {NextState::Same, RemAct::SupplyKeep};
+    p.rem[kProtoWrite][3] = {NextState::Invalid, RemAct::Invalidate};
+    return p;
+}
+
+Protocol
+makeDragon()
+{
+    Protocol p;
+    p.kind = ProtocolKind::Dragon;
+    p.updateBased = true;
+    p.ownerForwarding = true;
+    // Requester: every write while other copies exist is an update
+    // transaction leaving the writer Owned (Sm); with no other copies
+    // the line is simply Dirty (M). Reads never change state.
+    p.req[kProtoRead][0] = {NextState::Shared, ReqAct::Fill};
+    p.req[kProtoRead][1] = {NextState::Same, ReqAct::None};
+    p.req[kProtoRead][2] = {NextState::Same, ReqAct::None};
+    p.req[kProtoRead][3] = {NextState::Same, ReqAct::None};
+    p.req[kProtoWrite][0] = {NextState::OwnedIfSharers, ReqAct::Fill};
+    p.req[kProtoWrite][1] = {NextState::OwnedIfSharers, ReqAct::Update};
+    p.req[kProtoWrite][2] = {NextState::Same, ReqAct::None};
+    p.req[kProtoWrite][3] = {NextState::OwnedIfSharers, ReqAct::Update};
+    // Remote holders: reads are served by the owner, which keeps its
+    // dirty data; writes update every copy in place, the previous
+    // owner dropping to Shared (Sc).
+    p.rem[kProtoRead][1] = {NextState::Same, RemAct::None};
+    p.rem[kProtoRead][2] = {NextState::Owned, RemAct::SupplyKeep};
+    p.rem[kProtoRead][3] = {NextState::Same, RemAct::SupplyKeep};
+    p.rem[kProtoWrite][1] = {NextState::Same, RemAct::Update};
+    p.rem[kProtoWrite][2] = {NextState::Shared, RemAct::Update};
+    p.rem[kProtoWrite][3] = {NextState::Shared, RemAct::Update};
+    return p;
+}
+
+} // namespace
+
+const Protocol&
+Protocol::mesi()
+{
+    static const Protocol p = makeMesi();
+    return p;
+}
+
+const Protocol&
+Protocol::moesi()
+{
+    static const Protocol p = makeMoesi();
+    return p;
+}
+
+const Protocol&
+Protocol::dragon()
+{
+    static const Protocol p = makeDragon();
+    return p;
+}
+
+const Protocol&
+Protocol::get(ProtocolKind k)
+{
+    switch (k) {
+      case ProtocolKind::MESI:
+        return mesi();
+      case ProtocolKind::MOESI:
+        return moesi();
+      case ProtocolKind::Dragon:
+        return dragon();
+    }
+    return mesi();
+}
+
+bool
+ProtocolConfig::parse(std::string_view s)
+{
+    if (s == "mesi")
+        kind = ProtocolKind::MESI;
+    else if (s == "moesi")
+        kind = ProtocolKind::MOESI;
+    else if (s == "dragon")
+        kind = ProtocolKind::Dragon;
+    else
+        return false;
+    return true;
+}
+
+std::string
+ProtocolConfig::name() const
+{
+    switch (kind) {
+      case ProtocolKind::MESI:
+        return "mesi";
+      case ProtocolKind::MOESI:
+        return "moesi";
+      case ProtocolKind::Dragon:
+        return "dragon";
+    }
+    return "mesi";
+}
+
+bool
+DirectoryConfig::parse(std::string_view s)
+{
+    if (s == "fullbv") {
+        format = DirFormat::FullBitVector;
+        param = 0;
+        return true;
+    }
+    DirFormat fmt;
+    std::string_view rest;
+    if (s.substr(0, 7) == "coarse:") {
+        fmt = DirFormat::CoarseVector;
+        rest = s.substr(7);
+    } else if (s.substr(0, 4) == "ptr:") {
+        fmt = DirFormat::LimitedPtr;
+        rest = s.substr(4);
+    } else {
+        return false;
+    }
+    if (rest.empty() || rest.size() > 5)
+        return false;
+    int v = 0;
+    for (const char c : rest) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + (c - '0');
+    }
+    if (v < 1)
+        return false;
+    format = fmt;
+    param = v;
+    return true;
+}
+
+std::string
+DirectoryConfig::name() const
+{
+    switch (format) {
+      case DirFormat::FullBitVector:
+        return "fullbv";
+      case DirFormat::CoarseVector:
+        return "coarse:" + std::to_string(param);
+      case DirFormat::LimitedPtr:
+        return "ptr:" + std::to_string(param);
+    }
+    return "fullbv";
+}
+
+} // namespace ccnuma::sim

@@ -32,6 +32,14 @@ struct ProcCounters {
     std::uint64_t upgrades = 0;
     std::uint64_t invalsSent = 0;
     std::uint64_t invalsReceived = 0;
+    /// Fan-out messages (invalidations or updates) a compressed
+    /// directory format (coarse:K / ptr:N) sent to processors holding
+    /// no copy — the over-invalidation cost. Always 0 under fullbv.
+    std::uint64_t invalsSpurious = 0;
+    /// Update-based protocols only (Dragon): copies refreshed in place
+    /// by this processor's stores / refreshed at this processor.
+    std::uint64_t updatesSent = 0;
+    std::uint64_t updatesReceived = 0;
     std::uint64_t writebacks = 0;
     std::uint64_t prefetchesIssued = 0;
     std::uint64_t prefetchesUseful = 0;

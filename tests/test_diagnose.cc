@@ -216,7 +216,7 @@ TEST(Diagnose, JsonIsStrictParseableWithSchema)
     ASSERT_TRUE(pr.ok) << pr.error;
     const check::json::Value* schema = pr.root.find("schema");
     ASSERT_NE(schema, nullptr);
-    EXPECT_EQ(schema->str, "ccnuma-diagnose-v1");
+    EXPECT_EQ(schema->str, "ccnuma-diagnose-v2");
 
     const check::json::Value* apps_arr = pr.root.find("apps");
     ASSERT_NE(apps_arr, nullptr);
@@ -224,9 +224,16 @@ TEST(Diagnose, JsonIsStrictParseableWithSchema)
     ASSERT_EQ(apps_arr->arr.size(), 1u);
     const check::json::Value& app = apps_arr->arr[0];
     EXPECT_EQ(app.find("app")->str, "fft");
-    for (const char* key : {"ok", "scalesWell", "verdict",
+    for (const char* key : {"machine", "ok", "scalesWell", "verdict",
                             "primaryCause", "causes", "runs"})
         ASSERT_NE(app.find(key), nullptr) << key;
+
+    // v2: every app says which machine it was diagnosed on.
+    const check::json::Value* machine = app.find("machine");
+    ASSERT_NE(machine->find("protocol"), nullptr);
+    ASSERT_NE(machine->find("dirFormat"), nullptr);
+    EXPECT_EQ(machine->find("protocol")->str, "mesi");
+    EXPECT_EQ(machine->find("dirFormat")->str, "fullbv");
 
     // Exactly the five taxonomy causes, each with evidence.
     const check::json::Value* causes = app.find("causes");
@@ -249,6 +256,27 @@ TEST(Diagnose, JsonIsStrictParseableWithSchema)
              {"procs", "time", "speedup", "efficiency", "busy",
               "memStall", "lockWait", "barrierWait", "syncOp"})
             ASSERT_NE(r.find(key), nullptr) << key;
+}
+
+TEST(Diagnose, NonDefaultMachineIsRecordedInTheVerdict)
+{
+    DiagnoseOptions opt = quickOptions();
+    ASSERT_TRUE(opt.protocol.parse("dragon"));
+    ASSERT_TRUE(opt.dirFormat.parse("coarse:4"));
+    const AppDiagnosis d = diagnose::diagnoseApp("fft", opt);
+    ASSERT_TRUE(d.ok) << d.error;
+    EXPECT_EQ(d.protocol, "dragon");
+    EXPECT_EQ(d.dirFormat, "coarse:4");
+
+    std::ostringstream os;
+    diagnose::writeDiagnoseJson(os, {d});
+    const check::json::ParseResult pr = check::json::parse(os.str());
+    ASSERT_TRUE(pr.ok) << pr.error;
+    const check::json::Value* machine =
+        pr.root.find("apps")->arr[0].find("machine");
+    ASSERT_NE(machine, nullptr);
+    EXPECT_EQ(machine->find("protocol")->str, "dragon");
+    EXPECT_EQ(machine->find("dirFormat")->str, "coarse:4");
 }
 
 TEST(Diagnose, JsonIsByteDeterministic)
