@@ -25,7 +25,13 @@ analyzeApp(const std::string& name, const sim::MachineConfig& cfg,
     out.app = name;
     out.size = size != 0 ? size : check::goldenSize(name);
 
-    sim::Machine m(cfg);
+    // Same clamp as core::runApp: only timing-invariant apps may run
+    // on the parallel scout/replay engine (see apps::timingInvariant).
+    sim::MachineConfig eff = cfg;
+    if (eff.simJobs != 1 && !apps::timingInvariant(name))
+        eff.simJobs = 1;
+
+    sim::Machine m(eff);
     const apps::AppPtr app = apps::makeApp(name, out.size);
     app->setup(m);
 

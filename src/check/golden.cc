@@ -79,11 +79,12 @@ goldenSize(const std::string& app)
 }
 
 GoldenSnapshot
-computeGolden(int procs)
+computeGolden(int procs, int simJobs)
 {
     GoldenSnapshot snap;
     snap.procs = procs;
-    const sim::MachineConfig cfg = sim::MachineConfig::origin2000(procs);
+    sim::MachineConfig cfg = sim::MachineConfig::origin2000(procs);
+    cfg.simJobs = simJobs;
     for (const std::string& name : apps::listApps()) {
         const std::uint64_t size = goldenSize(name);
         const core::Measurement m = core::measure(

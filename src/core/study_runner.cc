@@ -21,13 +21,20 @@ secondsSince(std::chrono::steady_clock::time_point t0)
 }
 
 int
-resolveJobs(int requested, std::size_t work_items)
+hostThreads()
 {
-    int jobs = requested;
-    if (jobs <= 0) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        jobs = hw ? static_cast<int>(hw) : 1;
-    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+/// Workers = thread budget / per-run weight, clamped to the work
+/// available. `sim_jobs` <= 0 means each run wants the whole host.
+int
+resolveJobs(int requested, std::size_t work_items, int sim_jobs)
+{
+    int budget = requested <= 0 ? hostThreads() : requested;
+    const int weight = sim_jobs <= 0 ? hostThreads() : sim_jobs;
+    int jobs = budget / weight;
     if (work_items &&
         static_cast<std::size_t>(jobs) > work_items)
         jobs = static_cast<int>(work_items);
@@ -89,7 +96,7 @@ StudyRunner::run(const StudyPlan& plan)
     const std::vector<RunSpec>& specs = plan.specs();
     StudyResult result;
     result.runs.resize(specs.size());
-    result.jobs = resolveJobs(opt_.jobs, specs.size());
+    result.jobs = resolveJobs(opt_.jobs, specs.size(), opt_.simJobs);
     const auto study_t0 = std::chrono::steady_clock::now();
 
     std::atomic<std::size_t> next{0};

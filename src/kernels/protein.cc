@@ -44,10 +44,12 @@ helixTree(int leaves, std::uint64_t work_per_leaf, std::uint64_t seed)
         if (cur.span <= 1)
             continue;
         const int left_span = cur.span / 2;
+        // push_back below may reallocate and invalidate `n`.
+        const int child_depth = n.depth + 1;
         for (const int span : {left_span, cur.span - left_span}) {
             ProteinNode child;
             child.parent = cur.node;
-            child.depth = n.depth + 1;
+            child.depth = child_depth;
             t.nodes.push_back(child);
             const int ci = static_cast<int>(t.nodes.size()) - 1;
             t.nodes[cur.node].children.push_back(ci);

@@ -27,6 +27,8 @@ MachineConfig::validate() const
         err << "cache set count must be a power of two; ";
     if (quantum == 0)
         err << "quantum must be nonzero; ";
+    if (simJobs < 0)
+        err << "simJobs must be >= 0 (0 = auto); ";
     if (dirFormat.format != DirFormat::FullBitVector &&
         dirFormat.param < 1)
         err << "dirFormat param (coarse:K / ptr:N) must be >= 1; ";

@@ -25,9 +25,26 @@ Cpu::writeRange(Addr addr, std::uint64_t bytes)
         write(a);
 }
 
+void
+Cpu::scoutSync(OpKind op, ScoutSyncEvent::Kind k, int id)
+{
+    scout_->log->push(op, static_cast<std::uint64_t>(id));
+    scout_->events->push_back(
+        ScoutSyncEvent{now_, id_, scout_->seq++, k, id});
+    now_ += scout_->syncCost;
+}
+
 Cpu::SyncAwait
 Cpu::barrier(BarrierId b)
 {
+    if (scout_) [[unlikely]] {
+        // Scout pass: every sync parks; the window coordinator grants
+        // arrivals in canonical order at the next boundary. Replay
+        // re-runs the real barrier protocol with exact timing.
+        scoutSync(OpKind::Barrier, ScoutSyncEvent::Kind::BarrierArrive,
+                  b.idx);
+        return SyncAwait{*this, true};
+    }
     const bool proceed = machine_->barrierArrive(b, *this);
     return SyncAwait{*this, !proceed};
 }
@@ -35,6 +52,11 @@ Cpu::barrier(BarrierId b)
 Cpu::SyncAwait
 Cpu::acquire(LockId l)
 {
+    if (scout_) [[unlikely]] {
+        scoutSync(OpKind::Acquire, ScoutSyncEvent::Kind::AcquireReq,
+                  l.idx);
+        return SyncAwait{*this, true};
+    }
     const bool granted = machine_->lockAcquire(l, *this);
     return SyncAwait{*this, !granted};
 }
@@ -42,18 +64,32 @@ Cpu::acquire(LockId l)
 void
 Cpu::release(LockId l)
 {
+    if (scout_) [[unlikely]] {
+        scoutSync(OpKind::Release, ScoutSyncEvent::Kind::Release, l.idx);
+        return;
+    }
     machine_->lockRelease(l, *this);
 }
 
 void
 Cpu::reschedule()
 {
+    if (scout_) [[unlikely]] {
+        scout_->yielded = true;
+        return;
+    }
     sched_->ready(id_, now_);
 }
 
 void
 Cpu::markBlocked()
 {
+    if (scout_) [[unlikely]] {
+        scout_->parked = true;
+        if (nestedDepth_ > 0)
+            nestedBlocked_ = true;
+        return;
+    }
     sched_->block(id_);
     if (nestedDepth_ > 0)
         nestedBlocked_ = true;

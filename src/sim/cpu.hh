@@ -15,6 +15,7 @@
 
 #include "obs/trace.hh"
 #include "sim/memsys.hh"
+#include "sim/oplog.hh"
 #include "sim/stats.hh"
 #include "sim/sync.hh"
 #include "sim/types.hh"
@@ -46,6 +47,10 @@ class Cpu
     void
     busy(Cycles c)
     {
+        if (scout_) [[unlikely]] {
+            scoutOp(OpKind::Busy, c, c);
+            return;
+        }
         if (obs::kTracingCompiled && trace_)
             trace_->addBusy(id_, now_, c);
         now_ += c;
@@ -55,6 +60,10 @@ class Cpu
     void
     read(Addr addr)
     {
+        if (scout_) [[unlikely]] {
+            scoutOp(OpKind::Read, addr, scout_->memCost);
+            return;
+        }
         const Cycles l = mem_->access(id_, now_, addr, false, *stats_);
         if (obs::kTracingCompiled && trace_)
             trace_->addMemStall(id_, now_, l);
@@ -65,6 +74,10 @@ class Cpu
     void
     write(Addr addr)
     {
+        if (scout_) [[unlikely]] {
+            scoutOp(OpKind::Write, addr, scout_->memCost);
+            return;
+        }
         const Cycles l = mem_->access(id_, now_, addr, true, *stats_);
         if (obs::kTracingCompiled && trace_)
             trace_->addMemStall(id_, now_, l);
@@ -75,6 +88,10 @@ class Cpu
     void
     prefetch(Addr addr)
     {
+        if (scout_) [[unlikely]] {
+            scoutOp(OpKind::Prefetch, addr, 1);
+            return;
+        }
         mem_->prefetch(id_, now_, addr, *stats_);
         if (obs::kTracingCompiled && trace_)
             trace_->addBusy(id_, now_, 1);
@@ -89,6 +106,10 @@ class Cpu
     void
     fetchOp(Addr addr)
     {
+        if (scout_) [[unlikely]] {
+            scoutOp(OpKind::FetchOp, addr, scout_->memCost);
+            return;
+        }
         const Cycles l = mem_->fetchOp(id_, now_, addr, *stats_);
         if (obs::kTracingCompiled && trace_)
             trace_->addMemStall(id_, now_, l);
@@ -99,6 +120,10 @@ class Cpu
     void
     rmw(Addr addr)
     {
+        if (scout_) [[unlikely]] {
+            scoutOp(OpKind::Rmw, addr, scout_->memCost);
+            return;
+        }
         const Cycles l = mem_->llscRmw(id_, now_, addr, *stats_);
         if (obs::kTracingCompiled && trace_)
             trace_->addMemStall(id_, now_, l);
@@ -119,7 +144,13 @@ class Cpu
     };
     /// Yield to the scheduler if this processor ran past its quantum.
     /// Call this in every outer loop iteration of application code.
-    Checkpoint checkpoint() { return Checkpoint{*this}; }
+    Checkpoint
+    checkpoint()
+    {
+        if (scout_) [[unlikely]]
+            scout_->log->push(OpKind::Checkpoint, 0);
+        return Checkpoint{*this};
+    }
 
     /**
      * Yield point for *nested* coroutines (phases written as their own
@@ -134,7 +165,20 @@ class Cpu
         void await_suspend(std::coroutine_handle<>) const noexcept {}
         void await_resume() const noexcept {}
     };
-    NestedCheckpoint nestedCheckpoint() { return {*this}; }
+    NestedCheckpoint
+    nestedCheckpoint()
+    {
+        // Scout mode records every *potential* yield point. A nested
+        // checkpoint is semantically one top-level checkpoint (when it
+        // fires, the CCNUMA_RUN_NESTED driver's follow-up checkpoint()
+        // suspends with the same quantum state), so it must be in the
+        // replay stream; the driver's own checkpoint() records a
+        // second consecutive Checkpoint op, which replays as a no-op
+        // (a fresh quantum after resume never re-fires immediately).
+        if (scout_) [[unlikely]]
+            scout_->log->push(OpKind::Checkpoint, 0);
+        return {*this};
+    }
 
     // ---- nested blocking-sync protocol (used by CCNUMA_RUN_NESTED) ----
     /// Awaitable that suspends the top-level coroutine without
@@ -224,18 +268,43 @@ class Cpu
     void beginQuantum(Cycles quantum) { quantumEnd_ = now_ + quantum; }
     bool quantumUp() const { return now_ >= quantumEnd_; }
 
+    // ---- scout-mode hooks (the parallel engine's recording pass) ----
+    /// Enter scout mode: operations are recorded into `s->log` and
+    /// advance an approximate scout clock instead of touching MemSys,
+    /// the scheduler, or the trace. See sim/parallel.hh.
+    void attachScout(ScoutLink* s) { scout_ = s; }
+    bool scouting() const { return scout_ != nullptr; }
+    /// Run until the absolute window end (scout workers' quantum).
+    void beginScoutWindow(Cycles end) { quantumEnd_ = end; }
+    /// Apply a window-boundary synchronization grant.
+    void
+    scoutWake(Cycles t)
+    {
+        if (t > now_)
+            now_ = t;
+    }
+
     Machine& machine() { return *machine_; }
     MemSys& mem() { return *mem_; }
 
   private:
     void reschedule();  ///< Re-queue self at `now_` (yield).
     void markBlocked(); ///< Tell the scheduler we are blocked.
+    void
+    scoutOp(OpKind k, std::uint64_t arg, Cycles cost)
+    {
+        scout_->log->push(k, arg);
+        now_ += cost;
+    }
+    /// Record a sync op and queue its event for the window coordinator.
+    void scoutSync(OpKind op, ScoutSyncEvent::Kind k, int id);
 
     Machine* machine_;
     MemSys* mem_;
     Scheduler* sched_;
     ProcStats* stats_;
     obs::Trace* trace_ = nullptr;
+    ScoutLink* scout_ = nullptr;
     ProcId id_;
     int nprocs_;
     Cycles now_ = 0;

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Per-processor operation logs for the parallel scout/replay engine.
+ *
+ * The scout pass runs the application coroutines on worker threads and
+ * records each simulated processor's operation stream (memory ops, busy
+ * time, yield points, synchronization) into an OpStream; the replay
+ * pass drains the streams through the unmodified serial engine on the
+ * calling thread. One stream has exactly one producer (the worker that
+ * owns the processor's node) and one consumer (the replay thread), so
+ * the queue is a single-producer/single-consumer unbounded chunk list.
+ *
+ * Backpressure is cooperative rather than blocking: producers never
+ * stall inside a push (a scout coroutine must reach its next window
+ * boundary to park safely), so the engine accounts outstanding chunks
+ * globally and throttles workers only *between* windows. See
+ * parallel.hh.
+ */
+
+#ifndef CCNUMA_SIM_OPLOG_HH
+#define CCNUMA_SIM_OPLOG_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace ccnuma::sim {
+
+/** One recorded processor operation (see Cpu for the semantics). */
+enum class OpKind : std::uint8_t {
+    Read,       ///< arg = address
+    Write,      ///< arg = address
+    Busy,       ///< arg = cycles
+    Prefetch,   ///< arg = address
+    FetchOp,    ///< arg = address
+    Rmw,        ///< arg = address
+    Checkpoint, ///< quantum yield point (no arg)
+    Barrier,    ///< arg = BarrierId::idx
+    Acquire,    ///< arg = LockId::idx
+    Release,    ///< arg = LockId::idx
+};
+
+struct Op {
+    OpKind kind = OpKind::Checkpoint;
+    std::uint64_t arg = 0;
+};
+
+/** Shared accounting the streams use for cooperative backpressure. */
+struct OpLogBudget {
+    /// Chunks currently allocated and not yet drained, across streams.
+    std::atomic<long long> chunks{0};
+    /// Set by a starving consumer; workers ignore the cap while set,
+    /// which keeps the scout/replay pipeline deadlock-free even when
+    /// the buffered ops are all on other processors' streams.
+    std::atomic<bool> starved{false};
+    /// Set when either side aborts; pop() returns false promptly.
+    std::atomic<bool> abort{false};
+};
+
+/**
+ * Unbounded SPSC queue of Ops in 4096-entry chunks with a per-stream
+ * freelist (chunks recycle between producer and consumer, so a steady
+ * pipeline allocates a handful of chunks total).
+ */
+class OpStream
+{
+  public:
+    explicit OpStream(OpLogBudget* budget = nullptr) : budget_(budget)
+    {
+        head_ = tail_ = newChunk();
+    }
+    OpStream(const OpStream&) = delete;
+    OpStream& operator=(const OpStream&) = delete;
+    ~OpStream()
+    {
+        while (head_) {
+            Chunk* n = head_->next.load(std::memory_order_relaxed);
+            delete head_;
+            head_ = n;
+        }
+        Chunk* f = free_.load(std::memory_order_relaxed);
+        while (f) {
+            Chunk* n = f->next.load(std::memory_order_relaxed);
+            delete f;
+            f = n;
+        }
+    }
+
+    // ---- producer side (one scout worker) ----
+    void
+    push(OpKind kind, std::uint64_t arg)
+    {
+        if (tailUsed_ == Chunk::kCap) {
+            Chunk* c = newChunk();
+            if (budget_)
+                budget_->chunks.fetch_add(1, std::memory_order_relaxed);
+            tail_->next.store(c, std::memory_order_release);
+            tail_ = c;
+            tailUsed_ = 0;
+        }
+        tail_->ops[tailUsed_] = Op{kind, arg};
+        ++tailUsed_;
+        tail_->written.store(tailUsed_, std::memory_order_release);
+    }
+
+    /// Producer is done (normally or via an error); wakes the consumer.
+    void
+    close()
+    {
+        closed_.store(true, std::memory_order_release);
+    }
+    bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+    // ---- consumer side (the replay thread) ----
+    /// Blocking pop; returns false when the stream is closed and
+    /// drained, or when the shared budget is aborted.
+    bool
+    pop(Op& out)
+    {
+        std::uint32_t spins = 0;
+        for (;;) {
+            if (readIdx_ < head_->written.load(std::memory_order_acquire)) {
+                out = head_->ops[readIdx_++];
+                return true;
+            }
+            if (readIdx_ == Chunk::kCap) {
+                if (Chunk* n = head_->next.load(std::memory_order_acquire)) {
+                    retire(head_);
+                    head_ = n;
+                    readIdx_ = 0;
+                    continue;
+                }
+            }
+            if (closed_.load(std::memory_order_acquire)) {
+                // close() happens-after the producer's final push, so
+                // one re-check sees everything that was published.
+                if (readIdx_ <
+                    head_->written.load(std::memory_order_acquire))
+                    continue;
+                if (readIdx_ == Chunk::kCap &&
+                    head_->next.load(std::memory_order_acquire))
+                    continue;
+                return false;
+            }
+            if (budget_ && budget_->abort.load(std::memory_order_acquire))
+                return false;
+            if (++spins < 1024) {
+                continue;
+            }
+            // Starving: tell the scout side to keep producing even if
+            // the global chunk cap is reached, and get off the CPU.
+            if (budget_)
+                budget_->starved.store(true, std::memory_order_release);
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+    }
+
+  private:
+    struct Chunk {
+        static constexpr std::uint32_t kCap = 4096;
+        Op ops[kCap];
+        std::atomic<std::uint32_t> written{0};
+        std::atomic<Chunk*> next{nullptr};
+    };
+
+    Chunk*
+    newChunk()
+    {
+        if (Chunk* c = free_.load(std::memory_order_acquire)) {
+            // SPSC freelist: only the producer pops, so a single CAS
+            // against the consumer's pushes suffices.
+            while (c && !free_.compare_exchange_weak(
+                            c, c->next.load(std::memory_order_relaxed),
+                            std::memory_order_acq_rel))
+                ;
+            if (c) {
+                c->written.store(0, std::memory_order_relaxed);
+                c->next.store(nullptr, std::memory_order_relaxed);
+                return c;
+            }
+        }
+        return new Chunk();
+    }
+
+    void
+    retire(Chunk* c)
+    {
+        if (budget_)
+            budget_->chunks.fetch_sub(1, std::memory_order_relaxed);
+        Chunk* head = free_.load(std::memory_order_relaxed);
+        do {
+            c->next.store(head, std::memory_order_relaxed);
+        } while (!free_.compare_exchange_weak(
+            head, c, std::memory_order_acq_rel));
+    }
+
+    OpLogBudget* budget_;
+    // Producer-owned.
+    Chunk* tail_;
+    std::uint32_t tailUsed_ = 0;
+    // Consumer-owned.
+    Chunk* head_;
+    std::uint32_t readIdx_ = 0;
+    // Shared.
+    std::atomic<bool> closed_{false};
+    std::atomic<Chunk*> free_{nullptr};
+};
+
+/**
+ * Scout-mode attachment for one Cpu: where to record, where to queue
+ * synchronization events, and how to advance the approximate scout
+ * clock. The scout clock only buckets synchronization ordering into
+ * windows — replay recomputes all real timing — so flat per-op costs
+ * are sufficient.
+ */
+struct ScoutSyncEvent {
+    Cycles vtime = 0;
+    ProcId proc = kNoProc;
+    std::uint64_t seq = 0; ///< per-processor issue order (sort tiebreak)
+    enum class Kind : std::uint8_t { BarrierArrive, AcquireReq, Release };
+    Kind kind = Kind::BarrierArrive;
+    int id = -1; ///< BarrierId / LockId index
+};
+
+struct ScoutLink {
+    OpStream* log = nullptr;
+    /// Worker-local event queue (drained by the window coordinator).
+    std::vector<ScoutSyncEvent>* events = nullptr;
+    Cycles memCost = 8;  ///< scout-clock cost of a memory op
+    Cycles syncCost = 64; ///< scout-clock cost of a sync op
+    std::uint64_t seq = 0;
+    bool parked = false;  ///< set by Cpu::markBlocked under scout mode
+    bool yielded = false; ///< set by Cpu::reschedule under scout mode
+};
+
+} // namespace ccnuma::sim
+
+#endif // CCNUMA_SIM_OPLOG_HH

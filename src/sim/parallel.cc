@@ -1,0 +1,290 @@
+#include "sim/parallel.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "sim/cpu.hh"
+
+namespace ccnuma::sim {
+
+int
+ScoutEngine::clampWorkers(const std::vector<NodeId>& procNode,
+                          int requested)
+{
+    const NodeId numNodes =
+        *std::max_element(procNode.begin(), procNode.end()) + 1;
+    return std::clamp(requested, 1, static_cast<int>(numNodes));
+}
+
+ScoutEngine::ScoutEngine(std::vector<Cpu>& cpus,
+                         std::vector<NodeId> procNode,
+                         std::vector<int> barrierParts, int numLocks,
+                         Cycles windowCycles, int workers)
+    : cpus_(cpus),
+      sync_(clampWorkers(procNode, workers)),
+      width_(windowCycles > 0 ? windowCycles : 1),
+      windowEnd_(width_),
+      nprocs_(static_cast<int>(cpus.size()))
+{
+    const NodeId numNodes =
+        *std::max_element(procNode.begin(), procNode.end()) + 1;
+    workers = clampWorkers(procNode, workers);
+    workers_.resize(workers);
+
+    streams_.reserve(nprocs_);
+    links_.resize(nprocs_);
+    state_.assign(nprocs_, CpuState::Runnable);
+    grantAt_.assign(nprocs_, kNever);
+    for (ProcId p = 0; p < nprocs_; ++p) {
+        streams_.push_back(std::make_unique<OpStream>(&budget_));
+        // Node-contiguous ownership: worker w gets nodes
+        // [w*N/W, (w+1)*N/W), and with them every process the mapping
+        // policy put there.
+        const int w = static_cast<int>(
+            static_cast<long long>(procNode[p]) * workers / numNodes);
+        workers_[w].procs.push_back(p);
+        links_[p].log = streams_[p].get();
+        links_[p].events = &workers_[w].events;
+        links_[p].syncCost = grantCost_;
+    }
+
+    barriers_.resize(barrierParts.size());
+    for (std::size_t b = 0; b < barrierParts.size(); ++b)
+        barriers_[b].participants = barrierParts[b];
+    locks_.resize(numLocks);
+
+    capChunks_ = std::max(1024LL, 4LL * nprocs_);
+}
+
+ScoutEngine::~ScoutEngine()
+{
+    requestStop();
+    join();
+}
+
+void
+ScoutEngine::start(std::vector<std::coroutine_handle<>> handles)
+{
+    handles_ = std::move(handles);
+    for (std::size_t w = 0; w < workers_.size(); ++w)
+        workers_[w].thread =
+            std::thread([this, w] { workerLoop(static_cast<int>(w)); });
+}
+
+void
+ScoutEngine::requestStop()
+{
+    budget_.abort.store(true, std::memory_order_release);
+}
+
+void
+ScoutEngine::join()
+{
+    if (joined_)
+        return;
+    joined_ = true;
+    for (Worker& wk : workers_)
+        if (wk.thread.joinable())
+            wk.thread.join();
+}
+
+void
+ScoutEngine::rethrowIfFailed()
+{
+    for (Worker& wk : workers_)
+        if (wk.err)
+            std::rethrow_exception(wk.err);
+    if (!error_.empty())
+        throw std::runtime_error(error_);
+}
+
+void
+ScoutEngine::workerLoop(int w)
+{
+    Worker& wk = workers_[w];
+    for (;;) {
+        try {
+            runPhase(wk);
+            throttleWait();
+        } catch (...) {
+            wk.err = std::current_exception();
+            budget_.abort.store(true, std::memory_order_release);
+        }
+        sync_.arrive_and_wait();
+        if (w == 0)
+            coordinate();
+        sync_.arrive_and_wait();
+        if (stop_)
+            break;
+    }
+}
+
+void
+ScoutEngine::runPhase(Worker& wk)
+{
+    for (ProcId p : wk.procs) {
+        if (state_[p] != CpuState::Runnable)
+            continue;
+        Cpu& c = cpus_[p];
+        if (grantAt_[p] != kNever) {
+            c.scoutWake(grantAt_[p]);
+            grantAt_[p] = kNever;
+        }
+        if (c.now() >= windowEnd_)
+            continue; // ahead of the window; runs when it catches up
+        ScoutLink& ln = links_[p];
+        ln.parked = false;
+        ln.yielded = false;
+        c.beginScoutWindow(windowEnd_);
+        handles_[p].resume();
+        if (handles_[p].done()) {
+            state_[p] = CpuState::Done;
+            streams_[p]->close();
+        } else if (ln.parked) {
+            state_[p] = CpuState::Parked;
+        }
+        // else: quantum yield, stays Runnable for the next window.
+    }
+}
+
+void
+ScoutEngine::throttleWait() const
+{
+    // Cooperative backpressure, applied only at window boundaries
+    // (the scout's quiescent points): when the replay side has fallen
+    // far behind, wait for it to drain — unless it is *starving* on
+    // some other processor's stream, in which case producing more is
+    // the only way forward.
+    while (budget_.chunks.load(std::memory_order_relaxed) > capChunks_ &&
+           !budget_.starved.load(std::memory_order_acquire) &&
+           !budget_.abort.load(std::memory_order_acquire))
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+}
+
+void
+ScoutEngine::grant(ProcId p, Cycles at, int& grants)
+{
+    grantAt_[p] = at;
+    state_[p] = CpuState::Runnable;
+    ++grants;
+}
+
+void
+ScoutEngine::coordinate()
+{
+    if (budget_.abort.load(std::memory_order_acquire)) {
+        for (ProcId p = 0; p < nprocs_; ++p)
+            if (state_[p] != CpuState::Done)
+                streams_[p]->close();
+        stop_ = true;
+        return;
+    }
+    budget_.starved.store(false, std::memory_order_release);
+
+    // Canonical order: the grant schedule must be a pure function of
+    // the programs, not of worker count or host scheduling. Virtual
+    // times and issue orders are per-processor deterministic, so this
+    // sort key is too.
+    scratch_.clear();
+    for (Worker& wk : workers_) {
+        scratch_.insert(scratch_.end(), wk.events.begin(),
+                        wk.events.end());
+        wk.events.clear();
+    }
+    std::sort(scratch_.begin(), scratch_.end(),
+              [](const ScoutSyncEvent& a, const ScoutSyncEvent& b) {
+                  if (a.vtime != b.vtime)
+                      return a.vtime < b.vtime;
+                  if (a.proc != b.proc)
+                      return a.proc < b.proc;
+                  return a.seq < b.seq;
+              });
+
+    int grants = 0;
+    for (const ScoutSyncEvent& ev : scratch_) {
+        switch (ev.kind) {
+          case ScoutSyncEvent::Kind::BarrierArrive: {
+            ScoutBarrier& b = barriers_[ev.id];
+            b.arrivals.emplace_back(ev.vtime, ev.proc);
+            if (static_cast<int>(b.arrivals.size()) >= b.participants) {
+                Cycles t = 0;
+                for (const auto& [at, ap] : b.arrivals)
+                    t = std::max(t, at);
+                t += grantCost_;
+                for (const auto& [at, ap] : b.arrivals)
+                    grant(ap, t, grants);
+                b.arrivals.clear();
+            }
+            break;
+          }
+          case ScoutSyncEvent::Kind::AcquireReq: {
+            ScoutLock& l = locks_[ev.id];
+            if (!l.held) {
+                l.held = true;
+                grant(ev.proc, ev.vtime + grantCost_, grants);
+            } else {
+                l.waiters.emplace_back(ev.vtime, ev.proc);
+            }
+            break;
+          }
+          case ScoutSyncEvent::Kind::Release: {
+            ScoutLock& l = locks_[ev.id];
+            if (l.waiters.empty()) {
+                l.held = false;
+            } else {
+                const auto [wt, wp] = l.waiters.front();
+                l.waiters.pop_front();
+                grant(wp, std::max(ev.vtime, wt) + grantCost_, grants);
+            }
+            break;
+          }
+        }
+    }
+
+    int done = 0;
+    bool anyRunnable = false;
+    Cycles minNow = kNever;
+    for (ProcId p = 0; p < nprocs_; ++p) {
+        if (state_[p] == CpuState::Done) {
+            ++done;
+            continue;
+        }
+        if (state_[p] == CpuState::Runnable) {
+            anyRunnable = true;
+            const Cycles t = grantAt_[p] != kNever
+                                 ? std::max(cpus_[p].now(), grantAt_[p])
+                                 : cpus_[p].now();
+            minNow = std::min(minNow, t);
+        }
+    }
+    if (done == nprocs_) {
+        stop_ = true;
+        return;
+    }
+    if (!anyRunnable && grants == 0) {
+        fail("scout deadlock: every live processor is blocked on "
+             "synchronization with no pending grant (the program "
+             "deadlocks, or a barrier's participant count is wrong)");
+        return;
+    }
+    // Advance the window; jump ahead when every runnable processor has
+    // already run past the next boundary (e.g. after a long busy or a
+    // far-future grant), so skewed programs do not cost empty rounds.
+    windowEnd_ += width_;
+    if (minNow != kNever && minNow >= windowEnd_)
+        windowEnd_ = minNow + width_;
+}
+
+void
+ScoutEngine::fail(std::string msg)
+{
+    error_ = std::move(msg);
+    for (ProcId p = 0; p < nprocs_; ++p)
+        if (state_[p] != CpuState::Done)
+            streams_[p]->close();
+    budget_.abort.store(true, std::memory_order_release);
+    stop_ = true;
+}
+
+} // namespace ccnuma::sim

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The node-sharded parallel engine's scout pass.
+ *
+ * Machine::run splits a parallel run into two concurrent phases:
+ *
+ *  - The **scout** pass (this file) executes the application coroutines
+ *    on worker threads, each worker owning the processors of a
+ *    contiguous range of nodes. Workers advance in conservative time
+ *    windows: within a window a worker runs its own processors freely
+ *    (they touch only per-processor state — scout ops are recorded,
+ *    never simulated); at the boundary all workers meet at a host
+ *    barrier and a coordinator orders the window's synchronization
+ *    events canonically by (virtual time, processor, issue order) and
+ *    grants locks/barriers deterministically. The grant schedule is
+ *    therefore a pure function of the recorded streams — independent
+ *    of worker count and host scheduling.
+ *
+ *  - The **replay** pass (Machine::runParallel) drains the recorded
+ *    per-processor streams through the unmodified serial engine on the
+ *    calling thread, concurrently with the scout. Every metric is
+ *    computed by the same code, over the same operation sequence, in
+ *    the same order as a serial run — so results are byte-identical by
+ *    construction for programs whose operation streams do not depend
+ *    on simulated timing.
+ *
+ * The window width is bounded below by the machine's minimum
+ * cross-node latency (Table 1: >= 656 ns on the Origin2000) purely as
+ * the natural granularity at which cross-node synchronization effects
+ * can propagate; because grants are ordered canonically at boundaries,
+ * *any* width is sound and the knob only trades host-barrier overhead
+ * against scout-clock fidelity.
+ */
+
+#ifndef CCNUMA_SIM_PARALLEL_HH
+#define CCNUMA_SIM_PARALLEL_HH
+
+#include <barrier>
+#include <coroutine>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/oplog.hh"
+#include "sim/types.hh"
+
+namespace ccnuma::sim {
+
+class Cpu;
+
+/** Runs the scout pass over the spawned application coroutines. */
+class ScoutEngine
+{
+  public:
+    /**
+     * @param cpus            the scout-mode Cpu objects (one per proc)
+     * @param procNode        process -> node (the ownership map)
+     * @param barrierParts    participants per created BarrierId
+     * @param numLocks        number of created LockIds
+     * @param windowCycles    window width (>= 1)
+     * @param workers         scout worker threads (>= 1)
+     */
+    ScoutEngine(std::vector<Cpu>& cpus, std::vector<NodeId> procNode,
+                std::vector<int> barrierParts, int numLocks,
+                Cycles windowCycles, int workers);
+    ~ScoutEngine();
+
+    /// The recorded stream replayed for processor `p`.
+    OpStream& stream(ProcId p) { return *streams_[p]; }
+    /// The scout attachment for processor `p` (give to Cpu::attachScout).
+    ScoutLink& link(ProcId p) { return links_[p]; }
+
+    /// Launch the workers over the top-level coroutine handles.
+    void start(std::vector<std::coroutine_handle<>> handles);
+    /// Ask the scout to wind down early (the replay side failed).
+    void requestStop();
+    /// Wait for all workers to finish; idempotent.
+    void join();
+    /// Rethrow a worker-infrastructure failure or report a scout
+    /// deadlock after join(); no-op on success. Application exceptions
+    /// are *not* reported here — they stay captured in the Tasks.
+    void rethrowIfFailed();
+
+  private:
+    enum class CpuState : std::uint8_t { Runnable, Parked, Done };
+
+    struct Worker {
+        std::vector<ProcId> procs; ///< owned processors, ascending
+        std::vector<ScoutSyncEvent> events;
+        std::thread thread;
+        std::exception_ptr err;
+    };
+
+    struct ScoutLock {
+        bool held = false;
+        std::deque<std::pair<Cycles, ProcId>> waiters;
+    };
+    struct ScoutBarrier {
+        int participants = 0;
+        std::vector<std::pair<Cycles, ProcId>> arrivals;
+    };
+
+    /// Worker threads actually spawned: `requested` clamped to
+    /// [1, number of nodes]. Needed before the member-initializer list
+    /// runs because the host barrier's participant count is immutable.
+    static int clampWorkers(const std::vector<NodeId>& procNode,
+                            int requested);
+
+    void workerLoop(int w);
+    void runPhase(Worker& wk);
+    void coordinate();
+    void throttleWait() const;
+    void grant(ProcId p, Cycles at, int& grants);
+    void fail(std::string msg);
+
+    std::vector<Cpu>& cpus_;
+    std::vector<std::unique_ptr<OpStream>> streams_;
+    std::vector<ScoutLink> links_;
+    std::vector<std::coroutine_handle<>> handles_;
+    std::vector<Worker> workers_;
+    std::vector<CpuState> state_;
+    std::vector<Cycles> grantAt_;
+    std::vector<ScoutBarrier> barriers_;
+    std::vector<ScoutLock> locks_;
+    std::vector<ScoutSyncEvent> scratch_;
+    OpLogBudget budget_;
+    std::barrier<> sync_;
+    Cycles width_;
+    Cycles windowEnd_;
+    Cycles grantCost_ = 64;
+    long long capChunks_;
+    int nprocs_;
+    bool stop_ = false; ///< written by the coordinator between barriers
+    bool joined_ = false;
+    std::string error_;
+};
+
+} // namespace ccnuma::sim
+
+#endif // CCNUMA_SIM_PARALLEL_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helper for the parallel-engine differential tests: assert two
+ * RunResults are bit-identical, field by field.
+ */
+
+#ifndef CCNUMA_TESTS_BIT_IDENTITY_HH
+#define CCNUMA_TESTS_BIT_IDENTITY_HH
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace ccnuma::testutil {
+
+inline void
+expectIdentical(const sim::RunResult& serial, const sim::RunResult& par,
+                const std::string& what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(serial.time, par.time);
+    EXPECT_EQ(serial.pageMigrations, par.pageMigrations);
+    ASSERT_EQ(serial.procs.size(), par.procs.size());
+    for (std::size_t p = 0; p < serial.procs.size(); ++p) {
+        SCOPED_TRACE("proc " + std::to_string(p));
+        const sim::ProcTimes& st = serial.procs[p].t;
+        const sim::ProcTimes& pt = par.procs[p].t;
+        EXPECT_EQ(st.busy, pt.busy);
+        EXPECT_EQ(st.memStall, pt.memStall);
+        EXPECT_EQ(st.syncWait, pt.syncWait);
+        EXPECT_EQ(st.syncOp, pt.syncOp);
+        EXPECT_EQ(st.lockWait, pt.lockWait);
+        EXPECT_EQ(st.barrierWait, pt.barrierWait);
+        const sim::ProcCounters& sc = serial.procs[p].c;
+        const sim::ProcCounters& pc = par.procs[p].c;
+        EXPECT_EQ(sc.loads, pc.loads);
+        EXPECT_EQ(sc.stores, pc.stores);
+        EXPECT_EQ(sc.l2Hits, pc.l2Hits);
+        EXPECT_EQ(sc.missLocal, pc.missLocal);
+        EXPECT_EQ(sc.missRemoteClean, pc.missRemoteClean);
+        EXPECT_EQ(sc.missRemoteDirty, pc.missRemoteDirty);
+        EXPECT_EQ(sc.upgrades, pc.upgrades);
+        EXPECT_EQ(sc.invalsSent, pc.invalsSent);
+        EXPECT_EQ(sc.invalsReceived, pc.invalsReceived);
+        EXPECT_EQ(sc.invalsSpurious, pc.invalsSpurious);
+        EXPECT_EQ(sc.updatesSent, pc.updatesSent);
+        EXPECT_EQ(sc.updatesReceived, pc.updatesReceived);
+        EXPECT_EQ(sc.writebacks, pc.writebacks);
+        EXPECT_EQ(sc.prefetchesIssued, pc.prefetchesIssued);
+        EXPECT_EQ(sc.prefetchesUseful, pc.prefetchesUseful);
+        EXPECT_EQ(sc.pageMigrations, pc.pageMigrations);
+        EXPECT_EQ(sc.lockAcquires, pc.lockAcquires);
+        EXPECT_EQ(sc.lockContended, pc.lockContended);
+        EXPECT_EQ(sc.barriersPassed, pc.barriersPassed);
+    }
+}
+
+} // namespace ccnuma::testutil
+
+#endif // CCNUMA_TESTS_BIT_IDENTITY_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * App-level differential suite for the parallel scout/replay engine:
+ * every registered application variant, under each coherence protocol,
+ * must produce metrics bit-identical to the serial oracle when run
+ * with simJobs > 1 through core::runApp.
+ *
+ * Timing-invariant apps genuinely exercise the parallel engine here;
+ * timing-variant apps (task-queue stealers, barnes-mergetree) are
+ * clamped back to serial by core::runApp — the sweep proves the clamp
+ * composes so `ccnuma_verify golden --sim-jobs=N` is zero-diff over
+ * the whole registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hh"
+#include "bit_identity.hh"
+#include "check/golden.hh"
+#include "core/study.hh"
+#include "sim/config.hh"
+
+using namespace ccnuma;
+
+namespace {
+
+sim::RunResult
+runOnceOk(const std::string& name, const std::string& protocol,
+          int procs, int sim_jobs)
+{
+    sim::MachineConfig cfg = sim::MachineConfig::origin2000(procs);
+    EXPECT_TRUE(cfg.protocol.parse(protocol)) << protocol;
+    cfg.simJobs = sim_jobs;
+    apps::AppPtr app = apps::makeApp(name, check::goldenSize(name));
+    return core::runApp(cfg, *app);
+}
+
+} // namespace
+
+class ParallelAppDiff : public ::testing::TestWithParam<std::string> {};
+
+/// Every app, default protocol, worker counts {2, 4, auto}.
+TEST_P(ParallelAppDiff, BitIdenticalAcrossWorkerCounts)
+{
+    const std::string name = GetParam();
+    const sim::RunResult oracle = runOnceOk(name, "mesi", 8, 1);
+    for (const int jobs : {2, 4, 0})
+        testutil::expectIdentical(
+            oracle, runOnceOk(name, "mesi", 8, jobs),
+            name + " simJobs=" + std::to_string(jobs));
+}
+
+/// Every app under the non-default protocols at one worker count.
+TEST_P(ParallelAppDiff, BitIdenticalUnderEveryProtocol)
+{
+    const std::string name = GetParam();
+    for (const char* protocol : {"moesi", "dragon"})
+        testutil::expectIdentical(
+            runOnceOk(name, protocol, 8, 1),
+            runOnceOk(name, protocol, 8, 4),
+            name + std::string(" protocol=") + protocol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, ParallelAppDiff,
+    ::testing::ValuesIn(apps::listApps()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+        std::string n = info.param;
+        for (char& c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+/// The golden harness *is* the differential harness: the serialized
+/// snapshot must be byte-identical between the serial engine and the
+/// parallel engine (this is exactly what `ccnuma_verify golden
+/// --sim-jobs=N` checks against the committed baseline).
+TEST(ParallelGolden, SnapshotJsonByteIdentical)
+{
+    const std::string serial = check::toJson(check::computeGolden(4, 1));
+    const std::string par = check::toJson(check::computeGolden(4, 4));
+    EXPECT_EQ(serial, par);
+}

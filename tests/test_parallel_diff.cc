@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Differential bit-identity suite for the parallel scout/replay engine
+ * (sim/parallel.hh).
+ *
+ * The contract under test: for programs whose operation streams do not
+ * depend on simulated timing, a run with MachineConfig::simJobs > 1
+ * produces *bit-identical* results — every per-processor counter and
+ * cycle accumulator, the completion time, and the page-migration count
+ * — to the serial engine, for every worker count. The serial engine
+ * stays available behind the `check.serialEngine` seam as the oracle.
+ *
+ * Synthetic programs cover each operation kind, nested phases, and
+ * hostile schedules (skew, contended locks, subset barriers); the
+ * app-level sweep in test_parallel_apps.cc extends this to the full
+ * registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hh"
+#include "sim/machine.hh"
+
+using namespace ccnuma::sim;
+
+namespace {
+
+/// Field-by-field bit-identity check between two runs.
+void
+expectIdentical(const RunResult& serial, const RunResult& par,
+                const std::string& what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(serial.time, par.time);
+    EXPECT_EQ(serial.pageMigrations, par.pageMigrations);
+    ASSERT_EQ(serial.procs.size(), par.procs.size());
+    for (std::size_t p = 0; p < serial.procs.size(); ++p) {
+        SCOPED_TRACE("proc " + std::to_string(p));
+        const ProcTimes& st = serial.procs[p].t;
+        const ProcTimes& pt = par.procs[p].t;
+        EXPECT_EQ(st.busy, pt.busy);
+        EXPECT_EQ(st.memStall, pt.memStall);
+        EXPECT_EQ(st.syncWait, pt.syncWait);
+        EXPECT_EQ(st.syncOp, pt.syncOp);
+        EXPECT_EQ(st.lockWait, pt.lockWait);
+        EXPECT_EQ(st.barrierWait, pt.barrierWait);
+        const ProcCounters& sc = serial.procs[p].c;
+        const ProcCounters& pc = par.procs[p].c;
+        EXPECT_EQ(sc.loads, pc.loads);
+        EXPECT_EQ(sc.stores, pc.stores);
+        EXPECT_EQ(sc.l2Hits, pc.l2Hits);
+        EXPECT_EQ(sc.missLocal, pc.missLocal);
+        EXPECT_EQ(sc.missRemoteClean, pc.missRemoteClean);
+        EXPECT_EQ(sc.missRemoteDirty, pc.missRemoteDirty);
+        EXPECT_EQ(sc.upgrades, pc.upgrades);
+        EXPECT_EQ(sc.invalsSent, pc.invalsSent);
+        EXPECT_EQ(sc.invalsReceived, pc.invalsReceived);
+        EXPECT_EQ(sc.invalsSpurious, pc.invalsSpurious);
+        EXPECT_EQ(sc.updatesSent, pc.updatesSent);
+        EXPECT_EQ(sc.updatesReceived, pc.updatesReceived);
+        EXPECT_EQ(sc.writebacks, pc.writebacks);
+        EXPECT_EQ(sc.prefetchesIssued, pc.prefetchesIssued);
+        EXPECT_EQ(sc.prefetchesUseful, pc.prefetchesUseful);
+        EXPECT_EQ(sc.pageMigrations, pc.pageMigrations);
+        EXPECT_EQ(sc.lockAcquires, pc.lockAcquires);
+        EXPECT_EQ(sc.lockContended, pc.lockContended);
+        EXPECT_EQ(sc.barriersPassed, pc.barriersPassed);
+    }
+}
+
+MachineConfig
+smallConfig(int procs)
+{
+    MachineConfig cfg;
+    cfg.numProcs = procs;
+    cfg.cacheBytes = 64 << 10;
+    return cfg;
+}
+
+/// A setup callback builds machine objects (arenas, barriers, locks)
+/// identically for the oracle and each parallel run; the program
+/// factory then closes over the returned handles.
+struct Scenario {
+    std::function<Machine::Program(Machine&)> build;
+};
+
+/// Run the scenario serially (the oracle) and under simJobs in
+/// {2, 4, 0}; every parallel run must be bit-identical to the oracle.
+void
+runDifferential(const MachineConfig& base, const Scenario& sc)
+{
+    MachineConfig serial_cfg = base;
+    serial_cfg.simJobs = 1;
+    Machine serial_m(serial_cfg);
+    const RunResult oracle = serial_m.run(sc.build(serial_m));
+
+    for (const int jobs : {2, 4, 0}) {
+        MachineConfig cfg = base;
+        cfg.simJobs = jobs;
+        Machine m(cfg);
+        const RunResult r = m.run(sc.build(m));
+        expectIdentical(oracle, r, "simJobs=" + std::to_string(jobs));
+    }
+
+    // The oracle seam: serialEngine forces the serial path even when
+    // simJobs asks for parallel execution.
+    MachineConfig forced = base;
+    forced.simJobs = 4;
+    forced.check.serialEngine = true;
+    Machine m(forced);
+    const RunResult r = m.run(sc.build(m));
+    expectIdentical(oracle, r, "serialEngine seam");
+}
+
+} // namespace
+
+TEST(ParallelDiff, MixedOpsAndBarriers)
+{
+    Scenario sc;
+    sc.build = [](Machine& m) -> Machine::Program {
+        const Addr a = m.alloc(1 << 20);
+        const BarrierId bar = m.barrierCreate();
+        return [a, bar](Cpu& cpu) -> Task {
+            for (int it = 0; it < 4; ++it) {
+                for (int i = 0; i < 200; ++i) {
+                    cpu.read(a +
+                             ((cpu.id() * 571 + i * 131) % 8192) * 128);
+                    if (i % 3 == 0)
+                        cpu.write(a + ((cpu.id() * 37 + i) % 4096) * 128);
+                    cpu.busy(20);
+                    co_await cpu.checkpoint();
+                }
+                co_await cpu.barrier(bar);
+            }
+            co_return;
+        };
+    };
+    runDifferential(smallConfig(16), sc);
+}
+
+TEST(ParallelDiff, ContendedLockCriticalSections)
+{
+    Scenario sc;
+    sc.build = [](Machine& m) -> Machine::Program {
+        const Addr a = m.alloc(1 << 16);
+        const LockId lk = m.lockCreate();
+        return [a, lk](Cpu& cpu) -> Task {
+            for (int it = 0; it < 8; ++it) {
+                co_await cpu.acquire(lk);
+                cpu.read(a);         // shared counter line bounces
+                cpu.write(a);
+                cpu.busy(50 + 7 * cpu.id());
+                cpu.release(lk);
+                cpu.busy(100);
+                co_await cpu.checkpoint();
+            }
+            co_return;
+        };
+    };
+    runDifferential(smallConfig(8), sc);
+}
+
+TEST(ParallelDiff, SkewedLoadWithSubsetBarrier)
+{
+    Scenario sc;
+    sc.build = [](Machine& m) -> Machine::Program {
+        const BarrierId sub = m.barrierCreate(4); // procs 0..3 only
+        const BarrierId all = m.barrierCreate();
+        return [sub, all](Cpu& cpu) -> Task {
+            // Hostile skew: one processor runs far past everyone else
+            // (exercises the scout's window jump-ahead).
+            const int chunks = cpu.id() == 5 ? 60 : 2;
+            for (int i = 0; i < chunks; ++i) {
+                cpu.busy(1000);
+                co_await cpu.checkpoint();
+            }
+            if (cpu.id() < 4)
+                co_await cpu.barrier(sub);
+            co_await cpu.barrier(all);
+            cpu.busy(10);
+            co_return;
+        };
+    };
+    runDifferential(smallConfig(8), sc);
+}
+
+TEST(ParallelDiff, EveryOpKind)
+{
+    Scenario sc;
+    sc.build = [](Machine& m) -> Machine::Program {
+        const Addr a = m.alloc(1 << 18);
+        const Addr counters = m.alloc(1 << 12);
+        const BarrierId bar = m.barrierCreate();
+        return [a, counters, bar](Cpu& cpu) -> Task {
+            for (int it = 0; it < 3; ++it) {
+                for (int i = 0; i < 50; ++i) {
+                    cpu.prefetch(a + ((cpu.id() + i + 8) % 1024) * 128);
+                    cpu.read(a + ((cpu.id() + i) % 1024) * 128);
+                    cpu.busy(10);
+                    co_await cpu.checkpoint();
+                }
+                cpu.fetchOp(counters + 128 * (cpu.id() % 4));
+                cpu.rmw(counters + 2048 + 128 * (cpu.id() % 2));
+                cpu.readRange(a + cpu.id() * 4096, 1024);
+                cpu.writeRange(a + cpu.id() * 4096, 1024);
+                co_await cpu.barrier(bar);
+            }
+            co_return;
+        };
+    };
+    runDifferential(smallConfig(8), sc);
+}
+
+TEST(ParallelDiff, NestedPhasesWithSync)
+{
+    Scenario sc;
+    sc.build = [](Machine& m) -> Machine::Program {
+        const Addr a = m.alloc(1 << 18);
+        const BarrierId bar = m.barrierCreate();
+        const LockId lk = m.lockCreate();
+        auto phase = [](Cpu& cpu, Addr base, LockId l) -> Task {
+            for (int i = 0; i < 120; ++i) {
+                cpu.read(base + ((cpu.id() * 13 + i) % 1024) * 128);
+                cpu.busy(15);
+                co_await cpu.nestedCheckpoint();
+            }
+            co_await cpu.acquire(l);
+            cpu.busy(30);
+            cpu.release(l);
+            co_return;
+        };
+        return [a, bar, lk, phase](Cpu& cpu) -> Task {
+            for (int it = 0; it < 3; ++it) {
+                CCNUMA_RUN_NESTED(cpu, phase(cpu, a, lk));
+                co_await cpu.barrier(bar);
+            }
+            co_return;
+        };
+    };
+    runDifferential(smallConfig(8), sc);
+}
+
+TEST(ParallelDiff, ManyLocksFifoHandoff)
+{
+    Scenario sc;
+    sc.build = [](Machine& m) -> Machine::Program {
+        std::vector<LockId> locks;
+        for (int i = 0; i < 4; ++i)
+            locks.push_back(m.lockCreate());
+        const Addr a = m.alloc(1 << 16);
+        return [locks, a](Cpu& cpu) -> Task {
+            for (int it = 0; it < 12; ++it) {
+                const LockId lk = locks[(cpu.id() + it) % locks.size()];
+                co_await cpu.acquire(lk);
+                cpu.write(a + 128 * ((cpu.id() + it) % 64));
+                cpu.release(lk);
+                cpu.busy(40 + 11 * (cpu.id() % 3));
+                co_await cpu.checkpoint();
+            }
+            co_return;
+        };
+    };
+    runDifferential(smallConfig(16), sc);
+}
+
+TEST(ParallelDiff, ExplicitWindowWidths)
+{
+    // Any window width must be sound: grants are canonically ordered,
+    // so width only trades coordination overhead for scout-clock
+    // fidelity — never correctness.
+    for (const Cycles width : {Cycles{64}, Cycles{1000}, Cycles{100000}}) {
+        MachineConfig base = smallConfig(8);
+        base.simWindowCycles = width;
+        Scenario sc;
+        sc.build = [](Machine& m) -> Machine::Program {
+            const Addr a = m.alloc(1 << 16);
+            const BarrierId bar = m.barrierCreate();
+            return [a, bar](Cpu& cpu) -> Task {
+                for (int it = 0; it < 3; ++it) {
+                    for (int i = 0; i < 100; ++i) {
+                        cpu.read(a + ((cpu.id() + 3 * i) % 512) * 128);
+                        cpu.busy(25);
+                        co_await cpu.checkpoint();
+                    }
+                    co_await cpu.barrier(bar);
+                }
+                co_return;
+            };
+        };
+        SCOPED_TRACE("window width " + std::to_string(width));
+        runDifferential(base, sc);
+    }
+}
+
+TEST(ParallelDiff, AppExceptionPropagates)
+{
+    MachineConfig cfg = smallConfig(8);
+    cfg.simJobs = 4;
+    Machine m(cfg);
+    EXPECT_THROW(m.run([](Cpu& cpu) -> Task {
+        if (cpu.id() == 3)
+            throw std::logic_error("app bug");
+        cpu.busy(10);
+        co_return;
+    }),
+                 std::logic_error);
+}
+
+TEST(ParallelDiff, DeadlockDetected)
+{
+    MachineConfig cfg = smallConfig(8);
+    cfg.simJobs = 4;
+    Machine m(cfg);
+    const BarrierId bar = m.barrierCreate(); // all procs expected
+    EXPECT_THROW(m.run([bar](Cpu& cpu) -> Task {
+        if (cpu.id() == 0)
+            co_await cpu.barrier(bar); // others never arrive
+        co_return;
+    }),
+                 std::runtime_error);
+}
+
+TEST(ParallelDiff, MidRunAllocRejected)
+{
+    MachineConfig cfg = smallConfig(8);
+    cfg.simJobs = 4;
+    Machine m(cfg);
+    EXPECT_THROW(m.run([&m](Cpu& cpu) -> Task {
+        cpu.busy(10);
+        if (cpu.id() == 0)
+            m.alloc(4096); // timing-dependent stream: must throw
+        co_return;
+    }),
+                 std::logic_error);
+}
+
+TEST(ParallelDiff, SingleNodeFallsBackToSerial)
+{
+    // procsPerNode == numProcs: no cross-node latency bound exists, so
+    // the dispatcher must quietly use the serial engine.
+    MachineConfig cfg = smallConfig(2);
+    cfg.procsPerNode = 2;
+    cfg.simJobs = 4;
+    Scenario sc;
+    sc.build = [](Machine& m) -> Machine::Program {
+        const Addr a = m.alloc(1 << 14);
+        return [a](Cpu& cpu) -> Task {
+            cpu.read(a + cpu.id() * 128);
+            cpu.busy(100);
+            co_return;
+        };
+    };
+    Machine m(cfg);
+    const RunResult r = m.run(sc.build(m));
+    MachineConfig scfg = cfg;
+    scfg.simJobs = 1;
+    Machine sm(scfg);
+    const RunResult s = sm.run(sc.build(sm));
+    expectIdentical(s, r, "single-node fallback");
+}
