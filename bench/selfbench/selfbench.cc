@@ -222,6 +222,13 @@ appendHistory(core::MetricsSink& sink, const std::string& priorPath,
                 if (!label || !label->isString() ||
                     label->str.rfind("history/", 0) != 0)
                     continue;
+                // One entry per revision: re-benchmarking the same
+                // checkout replaces its prior measurement instead of
+                // growing the trajectory with duplicates.
+                const check::json::Value* rev =
+                    run.find("gitDescribe");
+                if (rev && rev->isString() && rev->str == gitDescribe)
+                    continue;
                 const std::string to =
                     "history/" + std::to_string(kept);
                 for (const auto& [key, v] : run.obj) {

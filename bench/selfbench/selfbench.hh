@@ -135,9 +135,12 @@ void emit(core::MetricsSink& sink, const GridResult& r,
  * from a previously emitted BENCH_sim.json at `priorPath` into `sink`
  * (relabelled sequentially from history/0), then append this run's
  * aggregate as the next entry — text "gitDescribe"/"date"/"grid",
- * count "totalMemOps", scalars "totalWallMs"/"aggOpsPerSec". A
- * missing or unparseable prior file starts the history fresh. Returns
- * the new entry's index (== number of prior entries kept).
+ * count "totalMemOps", scalars "totalWallMs"/"aggOpsPerSec". Prior
+ * entries whose "gitDescribe" equals this run's are dropped, so
+ * re-benchmarking the same revision replaces its measurement instead
+ * of duplicating it. A missing or unparseable prior file starts the
+ * history fresh. Returns the new entry's index (== number of prior
+ * entries kept).
  */
 std::size_t appendHistory(core::MetricsSink& sink,
                           const std::string& priorPath,

@@ -50,10 +50,27 @@
  *       diagnosis of the --apps subset. Prints a comparison grid and
  *       flags apps whose scaling verdict differs across combinations.
  *
+ *   ccnuma_verify model [--procs=P1,P2,..] [--max-states=N]
+ *                       [--no-symmetry] [--json=FILE]
+ *                       [--mutate=skip-inval|drop-owned-writeback|
+ *                        corrupt-moesi-table]
+ *       Exhaustive Murphi-style model check (ccnuma::model): BFS-
+ *       enumerate every reachable global state of one cache line —
+ *       directory entry, per-processor line states, in-flight
+ *       prefetch fills — through the real protocol engine, checking
+ *       the single-writer / data-value / memory-currency / fan-out
+ *       invariant battery at every transition, with symmetry
+ *       reduction over processor permutation. The default sweeps the
+ *       full {mesi,moesi,dragon} x {fullbv,coarse:4,ptr:2} matrix at
+ *       P=2,3,4 and expects zero violations. --mutate inverts the
+ *       exit logic: the deliberately corrupted protocol must be
+ *       *caught* on every combination where it is expressible, each
+ *       with a shortest replayable counterexample.
+ *
  *   ccnuma_verify help  (also --help, -h)
  *       Print the full subcommand reference and exit 0.
  *
- * stress, races, diagnose and protocols-member runs all accept
+ * stress, races, diagnose, model and protocols-member runs all accept
  * --protocol=mesi|moesi|dragon and --dir-format=fullbv|coarse:K|ptr:N
  * (CCNUMA_PROTOCOL / CCNUMA_DIR) to pick the coherence machine;
  * golden intentionally does not: the committed baseline pins the
@@ -77,6 +94,7 @@
 #include "core/metrics.hh"
 #include "diagnose/diagnose.hh"
 #include "diagnose/html.hh"
+#include "model/checker.hh"
 #include "sim/machine.hh"
 
 namespace {
@@ -111,10 +129,19 @@ constexpr const char* kUsage =
     "            the --apps subset, printed as a comparison grid\n"
     "              [--seeds=K] [--procs=P] [--ops=N] [--apps=A,B,..]\n"
     "              [--diag-procs=P1,P2,..] [--json=FILE]\n"
+    "  model     exhaustive model check of one cache line: enumerate\n"
+    "            every reachable global state through the real engine\n"
+    "            and prove the coherence invariants, or catch a\n"
+    "            --mutate corruption with a minimal replayable\n"
+    "            counterexample; default sweeps all 9 protocol x\n"
+    "            directory-format combos at P=2,3,4\n"
+    "              [--procs=P1,P2,..] [--max-states=N] [--no-symmetry]\n"
+    "              [--json=FILE] [--mutate=skip-inval|\n"
+    "               drop-owned-writeback|corrupt-moesi-table]\n"
     "  help      print this reference (also --help, -h)\n"
     "\n"
-    "stress/races/diagnose also take --protocol=mesi|moesi|dragon and\n"
-    "--dir-format=fullbv|coarse:K|ptr:N (env CCNUMA_PROTOCOL /\n"
+    "stress/races/diagnose/model also take --protocol=mesi|moesi|dragon\n"
+    "and --dir-format=fullbv|coarse:K|ptr:N (env CCNUMA_PROTOCOL /\n"
     "CCNUMA_DIR); golden always pins the default mesi+fullbv machine\n"
     "\n"
     "every command takes --sim-jobs=N (env CCNUMA_SIM_JOBS): host\n"
@@ -132,6 +159,65 @@ defaultGoldenPath()
 #else
     return "tests/golden/metrics-v1.json";
 #endif
+}
+
+/// The `kUsage` block for one subcommand: its summary line plus every
+/// continuation/flag line, sliced out of the single source of truth so
+/// the snippet can never drift from `help`. Unknown commands get the
+/// full reference.
+std::string
+usageSnippet(const std::string& cmd)
+{
+    const std::string usage(kUsage);
+    const std::string anchor = "\n  " + cmd + " ";
+    const std::size_t hit = usage.find(anchor);
+    if (hit == std::string::npos)
+        return usage;
+    std::string out = "usage:\n";
+    std::size_t pos = hit + 1;
+    while (pos < usage.size()) {
+        std::size_t nl = usage.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = usage.size();
+        const std::string line = usage.substr(pos, nl - pos);
+        // Continuation lines are indented deeper than the two-space
+        // command column; the next command (or the blank separator)
+        // ends the block.
+        if (pos != hit + 1 && line.compare(0, 4, "    ") != 0)
+            break;
+        out += line + "\n";
+        pos = nl + 1;
+    }
+    out += "run `ccnuma_verify help` for the full reference\n";
+    return out;
+}
+
+/// Print `cmd`'s usage snippet and return the usage exit status.
+/// Call sites that already diagnosed the specific problem funnel
+/// through here so every flag error carries its remedy.
+int
+usageError(const std::string& cmd)
+{
+    std::fprintf(stderr, "%s", usageSnippet(cmd).c_str());
+    return 2;
+}
+
+/// Strict end-of-parse check shared by every subcommand: any flag
+/// left unconsumed, any malformed numeric value, and any stray
+/// positional argument is an error (exit 2) accompanied by the
+/// subcommand's usage snippet — never a warning that scrolls away.
+bool
+strictFinish(const core::cli::Options& opt, const std::string& cmd)
+{
+    bool ok = core::cli::warnUnknown(opt);
+    for (std::size_t i = 1; i < opt.positional.size(); ++i) {
+        std::fprintf(stderr, "unexpected argument '%s'\n",
+                     opt.positional[i].c_str());
+        ok = false;
+    }
+    if (!ok)
+        std::fprintf(stderr, "%s", usageSnippet(cmd).c_str());
+    return ok;
 }
 
 bool
@@ -157,13 +243,13 @@ runStressCmd(core::cli::Options& opt)
     std::uint64_t ops = 250;
     if (!takeU64(opt, "seeds", seeds) || !takeU64(opt, "procs", procs) ||
         !takeU64(opt, "ops", ops))
-        return 2;
+        return usageError("stress");
     const bool shrinkWitness = opt.takeSwitch("shrink");
     const bool mutate = opt.takeSwitch("mutate");
 
     check::StressOptions base;
     core::cli::applyMachine(opt, base.machine);
-    if (!core::cli::warnUnknown(opt))
+    if (!strictFinish(opt, "stress"))
         return 2;
     base.seed = opt.seed;
     base.procs = static_cast<int>(procs);
@@ -238,17 +324,17 @@ runGoldenCmd(core::cli::Options& opt)
 {
     std::uint64_t procs = 4;
     if (!takeU64(opt, "procs", procs))
-        return 2;
+        return usageError("golden");
     std::string outPath;
     std::string checkPath;
     const bool hasOut = opt.takeFlag("out", outPath);
     const bool hasCheck = opt.takeFlag("check", checkPath);
     const bool bless = opt.takeSwitch("bless");
-    if (!core::cli::warnUnknown(opt))
+    if (!strictFinish(opt, "golden"))
         return 2;
     if (hasOut && hasCheck) {
         std::fprintf(stderr, "--out and --check are exclusive\n");
-        return 2;
+        return usageError("golden");
     }
 
     const check::GoldenSnapshot current =
@@ -383,7 +469,7 @@ runRacesCmd(core::cli::Options& opt)
     std::uint64_t ops = 250;
     if (!takeU64(opt, "procs", procs) || !takeU64(opt, "seeds", seeds) ||
         !takeU64(opt, "ops", ops))
-        return 2;
+        return usageError("races");
     std::string appName;
     const bool hasApp = opt.takeFlag("app", appName);
     const bool all = opt.takeSwitch("all");
@@ -391,11 +477,11 @@ runRacesCmd(core::cli::Options& opt)
     sim::MachineConfig machine =
         sim::MachineConfig::origin2000(static_cast<int>(procs));
     core::cli::applyMachine(opt, machine);
-    if (!core::cli::warnUnknown(opt))
+    if (!strictFinish(opt, "races"))
         return 2;
     if (hasApp && all) {
         std::fprintf(stderr, "--app and --all are exclusive\n");
-        return 2;
+        return usageError("races");
     }
 
     if (mutate)
@@ -465,14 +551,14 @@ runDiagnoseCmd(core::cli::Options& opt)
             std::fprintf(stderr, "malformed --procs=%s "
                                  "(want e.g. --procs=1,8,32)\n",
                          procsList.c_str());
-            return 2;
+            return usageError("diagnose");
         }
         dopt.procs.clear();
         for (std::uint64_t p : grid)
             dopt.procs.push_back(static_cast<int>(p));
     }
     if (!takeU64(opt, "size", dopt.size))
-        return 2;
+        return usageError("diagnose");
     std::string appName;
     const bool hasApp = opt.takeFlag("app", appName);
     const bool all = opt.takeSwitch("all");
@@ -482,11 +568,11 @@ runDiagnoseCmd(core::cli::Options& opt)
     core::cli::applyMachine(opt, machine);
     dopt.protocol = machine.protocol;
     dopt.dirFormat = machine.dirFormat;
-    if (!core::cli::warnUnknown(opt))
+    if (!strictFinish(opt, "diagnose"))
         return 2;
     if (hasApp && all) {
         std::fprintf(stderr, "--app and --all are exclusive\n");
-        return 2;
+        return usageError("diagnose");
     }
 
     std::vector<diagnose::AppDiagnosis> results;
@@ -621,7 +707,7 @@ runProtocolsCmd(core::cli::Options& opt)
     std::uint64_t ops = 150;
     if (!takeU64(opt, "seeds", seeds) ||
         !takeU64(opt, "procs", procs) || !takeU64(opt, "ops", ops))
-        return 2;
+        return usageError("protocols");
 
     std::vector<std::string> diagApps = {"fft", "ocean", "radix"};
     std::string appsList;
@@ -648,13 +734,13 @@ runProtocolsCmd(core::cli::Options& opt)
                          "malformed --diag-procs=%s "
                          "(want e.g. --diag-procs=1,8,32)\n",
                          diagProcsList.c_str());
-            return 2;
+            return usageError("protocols");
         }
         diagProcs.clear();
         for (std::uint64_t p : grid)
             diagProcs.push_back(static_cast<int>(p));
     }
-    if (!core::cli::warnUnknown(opt))
+    if (!strictFinish(opt, "protocols"))
         return 2;
 
     const std::vector<std::string> protoNames = {"mesi", "moesi",
@@ -833,6 +919,153 @@ runProtocolsCmd(core::cli::Options& opt)
     return 1;
 }
 
+// ---- model: exhaustive reachability over the protocol engine ----
+
+int
+runModelCmd(core::cli::Options& opt)
+{
+    std::uint64_t maxStates = 1u << 20;
+    if (!takeU64(opt, "max-states", maxStates))
+        return usageError("model");
+
+    std::vector<int> procs = {2, 3, 4};
+    std::string procsList;
+    if (opt.takeFlag("procs", procsList)) {
+        std::vector<std::uint64_t> grid;
+        if (!core::cli::parseU64List(procsList, grid)) {
+            std::fprintf(stderr, "malformed --procs=%s "
+                                 "(want e.g. --procs=2,3,4)\n",
+                         procsList.c_str());
+            return usageError("model");
+        }
+        procs.clear();
+        for (std::uint64_t p : grid)
+            procs.push_back(static_cast<int>(p));
+    }
+    const bool noSymmetry = opt.takeSwitch("no-symmetry");
+
+    sim::CheckMutation mutation = sim::CheckMutation::None;
+    std::string mutateName;
+    if (opt.takeFlag("mutate", mutateName)) {
+#ifndef CCNUMA_CHECK_MUTATE
+        std::fprintf(stderr,
+                     "mutation hooks not compiled in "
+                     "(build with -DCCNUMA_CHECK_MUTATE=ON)\n");
+        return 2;
+#else
+        if (mutateName == "skip-inval") {
+            mutation = sim::CheckMutation::SkipInvalidation;
+        } else if (mutateName == "drop-owned-writeback") {
+            mutation = sim::CheckMutation::DropOwnedWriteback;
+        } else if (mutateName == "corrupt-moesi-table") {
+            mutation = sim::CheckMutation::CorruptMoesiTable;
+        } else {
+            std::fprintf(stderr,
+                         "unknown --mutate=%s (want skip-inval | "
+                         "drop-owned-writeback | "
+                         "corrupt-moesi-table)\n",
+                         mutateName.c_str());
+            return usageError("model");
+        }
+#endif
+    }
+    if (!strictFinish(opt, "model"))
+        return 2;
+
+    // A mutation only needs catching where the corrupted mechanism
+    // exists: SkipInvalidation corrupts the invalidation fan-out
+    // (Dragon updates instead), DropOwnedWriteback needs the Owned
+    // state (MESI has none), CorruptMoesiTable zeroes a MOESI table
+    // cell. --protocol narrows further to a single protocol.
+    std::vector<std::string> protoSel = {"mesi", "moesi", "dragon"};
+    switch (mutation) {
+    case sim::CheckMutation::SkipInvalidation:
+        protoSel = {"mesi", "moesi"};
+        break;
+    case sim::CheckMutation::DropOwnedWriteback:
+        protoSel = {"moesi", "dragon"};
+        break;
+    case sim::CheckMutation::CorruptMoesiTable:
+        protoSel = {"moesi"};
+        break;
+    default:
+        break;
+    }
+    std::vector<std::string> fmtSel = {"fullbv", "coarse:4", "ptr:2"};
+    if (!opt.protocol.empty())
+        protoSel = {opt.protocol};
+    if (!opt.dirFormat.empty())
+        fmtSel = {opt.dirFormat};
+
+    core::MetricsSink sink(opt.jsonFile);
+    const bool mutated = mutation != sim::CheckMutation::None;
+    std::uint64_t bad = 0;
+    std::uint64_t combosRun = 0;
+    for (const std::string& pn : protoSel) {
+        for (const std::string& fn : fmtSel) {
+            for (const int p : procs) {
+                model::CheckOptions o;
+                o.protocol = pn;
+                o.dirFormat = fn;
+                o.procs = p;
+                o.maxStates = maxStates;
+                o.mutation = mutation;
+                o.symmetry = !noSymmetry;
+                const model::CheckResult r = model::runCheck(o);
+                if (r.invariant == "config") {
+                    std::fprintf(stderr, "%s x %s P=%d: %s\n",
+                                 pn.c_str(), fn.c_str(), p,
+                                 r.detail.c_str());
+                    return usageError("model");
+                }
+                ++combosRun;
+                std::printf("%s", model::formatResult(r).c_str());
+                model::emit(sink, r);
+                if (mutated) {
+                    // Inverted contract: the corruption must be
+                    // caught, with an executable counterexample
+                    // short enough to read (the BFS guarantees
+                    // shortest; 20 is the acceptance ceiling).
+                    const bool caught =
+                        !r.ok && !r.truncated && r.replayed &&
+                        r.counterexample.size() <= 20;
+                    if (!caught) {
+                        ++bad;
+                        std::fprintf(stderr,
+                                     "  mutation '%s' NOT caught on "
+                                     "%s x %s P=%d\n",
+                                     mutateName.c_str(), pn.c_str(),
+                                     fn.c_str(), p);
+                    }
+                } else if (!r.ok) {
+                    ++bad;
+                }
+            }
+        }
+    }
+    if (!sink.write())
+        std::fprintf(stderr, "failed to write --json file\n");
+    if (bad == 0) {
+        if (mutated)
+            std::printf("mutation '%s' caught on %llu/%llu "
+                        "combination(s): the checker has teeth\n",
+                        mutateName.c_str(),
+                        static_cast<unsigned long long>(combosRun),
+                        static_cast<unsigned long long>(combosRun));
+        else
+            std::printf("%llu/%llu combination(s) verified "
+                        "exhaustively\n",
+                        static_cast<unsigned long long>(combosRun),
+                        static_cast<unsigned long long>(combosRun));
+        return 0;
+    }
+    std::fprintf(stderr, "%llu/%llu combination(s) %s\n",
+                 static_cast<unsigned long long>(bad),
+                 static_cast<unsigned long long>(combosRun),
+                 mutated ? "did NOT catch the mutation" : "FAILED");
+    return 1;
+}
+
 } // namespace
 
 int
@@ -862,6 +1095,8 @@ main(int argc, char** argv)
         return runDiagnoseCmd(opt);
     if (cmd == "protocols")
         return runProtocolsCmd(opt);
+    if (cmd == "model")
+        return runModelCmd(opt);
     std::fprintf(stderr, "unknown command '%s'\n%s", cmd.c_str(),
                  kUsage);
     return 2;

@@ -119,6 +119,9 @@ parse(int argc, char** argv)
             opt.malformed.push_back(flag + "=" + text);
     };
 
+    // parse() runs once at startup, before any StudyRunner or scout
+    // thread exists, so the non-reentrant getenv is race-free here.
+    // NOLINTBEGIN(concurrency-mt-unsafe)
     if (const char* env = std::getenv("CCNUMA_TRACE"))
         opt.traceFile = env;
     if (const char* env = std::getenv("CCNUMA_JSON"))
@@ -135,6 +138,7 @@ parse(int argc, char** argv)
         opt.protocol = env;
     if (const char* env = std::getenv("CCNUMA_DIR"))
         opt.dirFormat = env;
+    // NOLINTEND(concurrency-mt-unsafe)
 
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];

@@ -1,0 +1,147 @@
+#include "model/state.hh"
+
+#include <algorithm>
+
+namespace ccnuma::model {
+
+namespace {
+
+char
+stateChar(sim::LineState s)
+{
+    switch (s) {
+      case sim::LineState::Invalid:
+        return 'I';
+      case sim::LineState::Shared:
+        return 'S';
+      case sim::LineState::Dirty:
+        return 'D';
+      case sim::LineState::Owned:
+        return 'O';
+    }
+    return '?';
+}
+
+} // namespace
+
+std::string
+GlobalState::key() const
+{
+    std::string k;
+    k.reserve(procs.size() + 8);
+    for (const ProcState& p : procs)
+        k.push_back(static_cast<char>(
+            static_cast<int>(p.cache) | (p.fresh ? 0x10 : 0) |
+            (p.pending ? 0x20 : 0)));
+    k.push_back(static_cast<char>(dir));
+    k.push_back(static_cast<char>(owner + 1));
+    k.push_back(overflow ? 1 : 0);
+    k.push_back(static_cast<char>(sharers & 0xff));
+    k.push_back(static_cast<char>((sharers >> 8) & 0xff));
+    k.push_back(static_cast<char>((sharers >> 16) & 0xff));
+    k.push_back(static_cast<char>((sharers >> 24) & 0xff));
+    k.push_back(memFresh ? 1 : 0);
+    return k;
+}
+
+GlobalState
+GlobalState::permuted(const std::vector<int>& perm) const
+{
+    GlobalState out = *this;
+    for (std::size_t p = 0; p < procs.size(); ++p)
+        out.procs[static_cast<std::size_t>(perm[p])] = procs[p];
+    out.owner = owner >= 0 ? perm[static_cast<std::size_t>(owner)] : -1;
+    out.sharers = 0;
+    for (std::size_t p = 0; p < procs.size(); ++p)
+        if (sharers & (1u << p))
+            out.sharers |= 1u << perm[p];
+    return out;
+}
+
+std::string
+GlobalState::describe() const
+{
+    std::string out;
+    for (std::size_t p = 0; p < procs.size(); ++p) {
+        out += "P" + std::to_string(p) + ":";
+        out.push_back(stateChar(procs[p].cache));
+        if (procs[p].cache != sim::LineState::Invalid &&
+            !procs[p].fresh)
+            out.push_back('!');
+        if (procs[p].pending)
+            out.push_back('*');
+        out.push_back(' ');
+    }
+    out += "dir=";
+    switch (dir) {
+      case sim::DirState::Uncached:
+        out += "Uncached";
+        break;
+      case sim::DirState::Shared:
+        out += "Shared";
+        break;
+      case sim::DirState::Dirty:
+        out += "Dirty";
+        break;
+      case sim::DirState::Owned:
+        out += "Owned";
+        break;
+    }
+    if (owner >= 0)
+        out += "@" + std::to_string(owner);
+    if (overflow)
+        out += "^"; // ptr:N overflow: fan-outs broadcast
+    out += " sharers={";
+    bool first = true;
+    for (std::size_t p = 0; p < procs.size(); ++p)
+        if (sharers & (1u << p)) {
+            if (!first)
+                out += ",";
+            out += std::to_string(p);
+            first = false;
+        }
+    out += "} mem=";
+    out += memFresh ? "fresh" : "stale";
+    return out;
+}
+
+std::vector<std::vector<int>>
+symmetryGroup(const sim::DirectoryConfig& fmt, int numProcs)
+{
+    std::vector<int> perm(static_cast<std::size_t>(numProcs));
+    for (int p = 0; p < numProcs; ++p)
+        perm[static_cast<std::size_t>(p)] = p;
+    const bool regioned = fmt.format == sim::DirFormat::CoarseVector;
+    const int k = regioned ? fmt.param : numProcs;
+    std::vector<std::vector<int>> out;
+    do {
+        // coarse:K fan-out signals whole regions of K consecutive
+        // processor ids, so only permutations inducing a bijection on
+        // that partition commute with the transition relation.
+        bool ok = true;
+        for (int p = 0; ok && p < numProcs; ++p)
+            for (int q = p + 1; ok && q < numProcs; ++q)
+                if ((p / k == q / k) !=
+                    (perm[static_cast<std::size_t>(p)] / k ==
+                     perm[static_cast<std::size_t>(q)] / k))
+                    ok = false;
+        if (ok)
+            out.push_back(perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return out;
+}
+
+std::string
+canonicalKey(const GlobalState& s,
+             const std::vector<std::vector<int>>& perms)
+{
+    std::string best = s.key();
+    for (const std::vector<int>& perm : perms) {
+        std::string k = s.permuted(perm).key();
+        if (k < best)
+            best = std::move(k);
+    }
+    return best;
+}
+
+} // namespace ccnuma::model

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Abstract global state of one cache line for the model checker.
+ *
+ * A GlobalState is the projection of the full machine onto the watched
+ * line: per-processor {cache state, value freshness, pending prefetch
+ * fill} plus the line's directory entry (state, owner, overflow bit,
+ * exact sharer set) and whether home memory holds the latest committed
+ * value. Data values are symbolic — only "latest committed value or
+ * not" matters for the coherence data-value property, which keeps the
+ * state space finite without losing the stale-read bugs the checker
+ * exists to find.
+ *
+ * Canonicalization (canonicalKey) quotients the space by processor
+ * permutation: the engine's transition relation commutes with any
+ * permutation that preserves the directory format's region structure
+ * (all of them under fullbv/ptr:N; partition-preserving ones under
+ * coarse:K), so BFS over canonical representatives reaches a class iff
+ * it reaches a member. See DESIGN.md "Model checking".
+ */
+
+#ifndef CCNUMA_MODEL_STATE_HH
+#define CCNUMA_MODEL_STATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/directory.hh"
+#include "sim/protocol.hh"
+
+namespace ccnuma::model {
+
+/** One processor's slice of the abstract state. */
+struct ProcState {
+    sim::LineState cache = sim::LineState::Invalid;
+    /// Copy holds the latest committed value. Normalized to false
+    /// while the copy is Invalid (no value to be fresh).
+    bool fresh = false;
+    /// A prefetch fill for the line is in flight (the transient the
+    /// checker folds in; see MemSys::fillPending).
+    bool pending = false;
+
+    bool operator==(const ProcState&) const = default;
+};
+
+/** The abstract global state of the watched line. */
+struct GlobalState {
+    std::vector<ProcState> procs;
+    sim::DirState dir = sim::DirState::Uncached;
+    int owner = -1; ///< processor index, -1 = none
+    bool overflow = false;
+    std::uint32_t sharers = 0; ///< exact sharer bitmap (bit p)
+    bool memFresh = true;      ///< home memory holds the latest value
+
+    bool operator==(const GlobalState&) const = default;
+
+    /// Byte encoding of this exact state (not canonicalized).
+    std::string key() const;
+
+    /// The state with processor indices renamed by `perm`
+    /// (new index perm[p] plays old p's role).
+    GlobalState permuted(const std::vector<int>& perm) const;
+
+    /// One compact human-readable line, e.g.
+    /// "P0:S P1:D* dir=Dirty@1 sharers={1} mem=stale"
+    /// ('*' marks a pending fill, '!' a stale valid copy).
+    std::string describe() const;
+};
+
+/**
+ * All processor permutations of [0,numProcs) the directory format's
+ * fan-out semantics are invariant under: every permutation for fullbv
+ * and ptr:N, and the coarse:K region-partition-preserving subgroup
+ * (p/K and q/K agree iff the images' regions do) for CoarseVector.
+ * numProcs <= 8 (the checker's exhaustive regime).
+ */
+std::vector<std::vector<int>>
+symmetryGroup(const sim::DirectoryConfig& fmt, int numProcs);
+
+/**
+ * Lexicographically smallest key() over `perms` — the canonical
+ * representative's encoding, used as the visited-set key. Pass a
+ * single identity permutation to disable symmetry reduction.
+ */
+std::string
+canonicalKey(const GlobalState& s,
+             const std::vector<std::vector<int>>& perms);
+
+} // namespace ccnuma::model
+
+#endif // CCNUMA_MODEL_STATE_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The model checker's transition executor: one step = one memory
+ * operation run through the *real* engine (MemSys with the machine's
+ * actual Protocol tables and DirectoryConfig fan-out rules — there is
+ * no hand-written second model), followed by the invariant battery.
+ *
+ * The machine is deliberately tiny: P processors (one per node), a
+ * one-line direct-mapped cache each, and two line addresses — the
+ * watched line A and a conflicting line B in the same set, so "evict
+ * A" is expressible as an ordinary read of B. Every transition the
+ * engine can take on one line at small P is reachable through the four
+ * operations {read A, write A, evict A, prefetch A}.
+ *
+ * Value tracking is symbolic: the World is itself the CommitObserver
+ * and maintains one bit per copy ("holds the latest committed value")
+ * plus one for home memory, updated exactly by the data-movement hooks
+ * (store/fill/supply/update/downgrade/writeback). A protocol that
+ * leaves a stale valid copy, fills from stale memory, or supplies
+ * stale data trips the data-value invariant at the very step the stale
+ * value becomes observable.
+ */
+
+#ifndef CCNUMA_MODEL_WORLD_HH
+#define CCNUMA_MODEL_WORLD_HH
+
+#include <string>
+#include <vector>
+
+#include "model/state.hh"
+#include "sim/commit.hh"
+#include "sim/config.hh"
+#include "sim/memsys.hh"
+#include "sim/stats.hh"
+#include "sim/topology.hh"
+
+namespace ccnuma::model {
+
+/** The model checker's transition alphabet, per processor. */
+enum class OpKind : std::uint8_t {
+    Read,     ///< Demand load of the watched line.
+    Write,    ///< Demand store to the watched line.
+    Evict,    ///< Displace the watched line (read of the conflicting
+              ///< line B); enabled only while the copy is valid.
+    Prefetch, ///< Non-binding prefetch of the watched line; enabled
+              ///< only while the copy is invalid (else a no-op).
+};
+
+/** One transition: processor `proc` performs `kind`. */
+struct Step {
+    sim::ProcId proc = 0;
+    OpKind kind = OpKind::Read;
+
+    bool operator==(const Step&) const = default;
+};
+
+/// "P2 write"-style rendering of a step.
+std::string describeStep(const Step& s);
+
+/** A concrete machine plus the invariant battery. */
+class World : private sim::CommitObserver
+{
+  public:
+    /// The tiny machine every check runs: `procs` processors, one per
+    /// node, one-line direct-mapped caches, the requested protocol /
+    /// directory format, and the requested CheckMutation corruption.
+    static sim::MachineConfig makeConfig(const sim::ProtocolConfig& proto,
+                                         const sim::DirectoryConfig& fmt,
+                                         int procs,
+                                         sim::CheckMutation mutation);
+
+    explicit World(const sim::MachineConfig& cfg);
+
+    /// Execute one step through the engine and run every invariant.
+    /// @return true if all invariants hold; false with violation()
+    ///         set (further steps are refused) otherwise.
+    bool apply(const Step& s);
+
+    /// Replay a whole trace; stops at the first violated step.
+    /// @return number of steps applied.
+    std::size_t replay(const std::vector<Step>& trace);
+
+    /// The steps enabled in the current state, in (proc, op) order.
+    /// Read and Write are always enabled; Evict requires a valid
+    /// copy, Prefetch an invalid one.
+    std::vector<Step> enabledSteps() const;
+
+    /// Abstract projection of the current machine state.
+    GlobalState snapshot() const;
+
+    /// "" while every applied step upheld every invariant, else
+    /// "<invariant>: <detail>" for the first breach.
+    const std::string& violation() const { return violation_; }
+    /// Name of the violated invariant ("" when none).
+    const std::string& invariant() const { return invariantName_; }
+
+    int numProcs() const { return cfg_.numProcs; }
+    const sim::MachineConfig& config() const { return cfg_; }
+
+    /// The watched line's base address (A) and its same-set
+    /// conflicting line (B).
+    static constexpr sim::Addr kLineA = 1u << 20;
+    sim::Addr lineB() const { return kLineA + cfg_.lineBytes; }
+
+  private:
+    // ---- CommitObserver (symbolic last-writer value tracking) ----
+    void onLoad(sim::ProcId p, sim::LineAddr line, sim::DataSource src,
+                sim::ProcId supplier) override;
+    void onStore(sim::ProcId p, sim::LineAddr line) override;
+    void onInval(sim::ProcId p, sim::LineAddr line) override;
+    void onDowngrade(sim::ProcId owner, sim::LineAddr line) override;
+    void onWriteback(sim::ProcId p, sim::LineAddr line) override;
+    void onEvict(sim::ProcId p, sim::LineAddr line) override;
+    void onShareDirty(sim::ProcId owner, sim::LineAddr line) override;
+    void onUpdate(sim::ProcId p, sim::LineAddr line) override;
+
+    void fail(const std::string& invariant, const std::string& detail);
+
+    /// State-level invariants, run after every step (see DESIGN.md
+    /// "Model checking" for the catalogue). The deltas are this
+    /// step's movement of the receiver-side fan-out counters.
+    void checkInvariants(const Step& s, const GlobalState& before,
+                         const GlobalState& after,
+                         std::uint64_t invalsDelta,
+                         std::uint64_t updatesDelta,
+                         std::uint64_t spuriousDelta);
+
+    std::uint64_t totalInvalsReceived() const;
+    std::uint64_t totalUpdatesReceived() const;
+    std::uint64_t totalSpurious() const;
+
+    sim::MachineConfig cfg_;
+    sim::Topology topo_;
+    sim::MemSys mem_;
+    std::vector<sim::ProcStats> stats_;
+    /// Per-processor: cached copy of A holds the latest committed
+    /// value. Meaningful only while the copy is valid.
+    std::vector<bool> fresh_;
+    /// Home memory holds the latest committed value of A.
+    bool memFresh_ = true;
+    std::uint64_t steps_ = 0;
+    std::string violation_;
+    std::string invariantName_;
+};
+
+} // namespace ccnuma::model
+
+#endif // CCNUMA_MODEL_WORLD_HH

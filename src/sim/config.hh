@@ -94,6 +94,13 @@ enum class CheckMutation : std::uint8_t {
                        ///< sharer of a written line a stale copy. Built
                        ///< for the MOESI table self-test, but breaks any
                        ///< invalidation-based protocol the same way.
+    DropOwnedWriteback, ///< Evicting an Owned victim forgets the
+                        ///< memory writeback: the remaining copies go
+                        ///< Shared while home memory keeps the stale
+                        ///< pre-ownership value (the dropped-action
+                        ///< sibling of DropLockAcquire, at the
+                        ///< protocol layer; MOESI/Dragon only). The
+                        ///< model checker must find it exhaustively.
 };
 
 /**

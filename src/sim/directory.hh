@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "sim/flat_hash.hh"
+#include "sim/protocol.hh"
 #include "sim/types.hh"
 
 namespace ccnuma::sim {
@@ -94,6 +95,52 @@ struct DirEntry {
 
     bool operator==(const DirEntry&) const = default;
 };
+
+/**
+ * Call fn(ProcId) for every processor the home signals on an
+ * invalidation/update fan-out for entry `e` under directory format
+ * `fmt`: exact sharers under fullbv, every processor of every marked
+ * region under coarse:K, and everybody once a ptr:N entry has
+ * overflowed. Ascending processor order in every format.
+ *
+ * Pure query over a (possibly hypothetical) entry — it never touches
+ * a live Directory — so it is shared by the MemSys fan-out paths and
+ * by ccnuma::model's fan-out-consistency invariant, which asks what
+ * the format *would* signal for each reachable entry.
+ */
+template <typename Fn>
+void
+forEachFanoutTarget(const DirectoryConfig& fmt, const DirEntry& e,
+                    int numProcs, Fn&& fn)
+{
+    switch (fmt.format) {
+      case DirFormat::FullBitVector:
+        e.sharers.forEach(fn);
+        return;
+      case DirFormat::CoarseVector: {
+        const int k = fmt.param;
+        std::uint64_t regions[kMaxProcs / 64] = {};
+        e.sharers.forEach([&](ProcId s) {
+            const int r = s / k;
+            regions[r >> 6] |= 1ull << (r & 63);
+        });
+        for (int t = 0; t < numProcs; ++t) {
+            const int r = t / k;
+            if (regions[r >> 6] & (1ull << (r & 63)))
+                fn(static_cast<ProcId>(t));
+        }
+        return;
+      }
+      case DirFormat::LimitedPtr:
+        if (!e.overflow) {
+            e.sharers.forEach(fn);
+            return;
+        }
+        for (int t = 0; t < numProcs; ++t)
+            fn(static_cast<ProcId>(t));
+        return;
+    }
+}
 
 /**
  * The machine-wide directory. Entries live in per-home-shard flat hash

@@ -182,6 +182,27 @@ MemSys::handleVictim(ProcId p, Cycles now, const CacheResult& r,
         // a cache that still has clean peers. Write it back — home
         // memory is current again, so the peers' copies become plain
         // Shared and the entry loses its owner.
+#ifdef CCNUMA_CHECK_MUTATE
+        // Harness self-test (CheckMutation::DropOwnedWriteback): the
+        // eviction forgets the writeback, so the entry goes Shared
+        // over stale home memory — a later memory fill serves old
+        // data. The model checker must find this exhaustively. See
+        // sim/config.hh.
+        if (cfg_.check.mutation == CheckMutation::DropOwnedWriteback) {
+            if (commit_)
+                commit_->onEvict(p, line);
+            e.sharers.remove(p);
+            e.owner = kNoProc;
+            if (e.sharers.empty()) {
+                e.state = DirState::Uncached;
+                e.overflow = false;
+                dir_.drop(line);
+            } else {
+                e.state = DirState::Shared;
+            }
+            return;
+        }
+#endif
         const NodeId home = pageTable_.home(line, procNode_[p]);
         useResource(hubFree_[home], now, cfg_.hubOccupancy);
         useResource(memFree_[home], now, cfg_.memOccupancy);

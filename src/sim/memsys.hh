@@ -178,6 +178,26 @@ class MemSys
 
     NodeId nodeOfProcess(ProcId p) const { return procNode_[p]; }
 
+    /// True when processor `p` has a prefetch fill in flight for
+    /// `line` (its completion has been scheduled but no demand access
+    /// has absorbed it yet). The model checker folds this transient
+    /// into its per-processor state.
+    bool
+    fillPending(ProcId p, LineAddr line) const
+    {
+        return pendingFill_[p].find(line) != nullptr;
+    }
+
+    /**
+     * Attach (or detach with nullptr) the per-processor counter
+     * vector that receiver-side fan-out accounting (invalsReceived,
+     * updatesReceived) is charged to. Machine::run wires its own
+     * stats in; standalone drivers (the model checker's per-step
+     * accounting invariants) attach theirs. The vector must outlive
+     * the accesses and have one slot per processor.
+     */
+    void attachStats(std::vector<ProcStats>* s) { allStats_ = s; }
+
     /**
      * Validate the coherence invariants between every cache and the
      * directory:
@@ -264,41 +284,15 @@ class MemSys
             e.overflow = true;
     }
 
-    /// Call fn(ProcId) for every processor the home signals on a
-    /// fan-out for this entry — exact sharers under fullbv, whole
-    /// regions under coarse:K, everybody once a ptr:N entry has
-    /// overflowed. Ascending processor order in every format.
+    /// Fan-out target enumeration for this machine's directory format
+    /// (see forEachFanoutTarget in sim/directory.hh, which the model
+    /// checker shares for its fan-out-consistency invariant).
     template <typename Fn>
     void
     forEachTarget(const DirEntry& e, Fn&& fn) const
     {
-        switch (cfg_.dirFormat.format) {
-          case DirFormat::FullBitVector:
-            e.sharers.forEach(fn);
-            return;
-          case DirFormat::CoarseVector: {
-            const int k = cfg_.dirFormat.param;
-            std::uint64_t regions[kMaxProcs / 64] = {};
-            e.sharers.forEach([&](ProcId s) {
-                const int r = s / k;
-                regions[r >> 6] |= 1ull << (r & 63);
-            });
-            for (int t = 0; t < cfg_.numProcs; ++t) {
-                const int r = t / k;
-                if (regions[r >> 6] & (1ull << (r & 63)))
-                    fn(static_cast<ProcId>(t));
-            }
-            return;
-          }
-          case DirFormat::LimitedPtr:
-            if (!e.overflow) {
-                e.sharers.forEach(fn);
-                return;
-            }
-            for (int t = 0; t < cfg_.numProcs; ++t)
-                fn(static_cast<ProcId>(t));
-            return;
-        }
+        forEachFanoutTarget(cfg_.dirFormat, e, cfg_.numProcs,
+                            std::forward<Fn>(fn));
     }
 
     /// The preserved hard-coded MESI + full-bit-vector access body
@@ -350,7 +344,6 @@ class MemSys
     std::vector<NodeId> procNode_; ///< process -> node (via mapping)
 
     friend class Machine;
-    void attachStats(std::vector<ProcStats>* s) { allStats_ = s; }
     void attachTrace(obs::Trace* t) { trace_ = t; }
 };
 

@@ -87,6 +87,37 @@ makeDragon()
 
 } // namespace
 
+unsigned
+Protocol::reachableStates() const
+{
+    // Indices follow LineState: 0 Invalid, 1 Shared, 2 Dirty, 3 Owned.
+    unsigned mask = 1u << 0; // Invalid is always enterable (evict).
+    const auto note = [&mask](NextState n) {
+        switch (n) {
+          case NextState::Invalid:
+            mask |= 1u << 0;
+            break;
+          case NextState::Shared:
+            mask |= 1u << 1;
+            break;
+          case NextState::Dirty:
+            mask |= 1u << 2;
+            break;
+          case NextState::Owned:
+            mask |= 1u << 3;
+            break;
+          case NextState::Same:
+            break;
+          case NextState::OwnedIfSharers:
+            mask |= (1u << 2) | (1u << 3);
+            break;
+        }
+    };
+    forEachReqCell([&](int, int, const ReqCell& c) { note(c.next); });
+    forEachRemCell([&](int, int, const RemCell& c) { note(c.next); });
+    return mask;
+}
+
 const Protocol&
 Protocol::mesi()
 {

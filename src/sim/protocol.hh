@@ -114,6 +114,43 @@ struct Protocol {
     ReqCell req[2][kProtoStates];
     RemCell rem[2][kProtoStates];
 
+    /// Op-row count of each table (kProtoRead, kProtoWrite).
+    static constexpr int kNumOps = 2;
+
+    /// Call fn(op, stateIdx, const ReqCell&) for every requester-side
+    /// cell, ops outer, states (LineState index order) inner. The
+    /// tables are the protocol spec; the model checker and table
+    /// audits iterate them instead of keeping a second copy.
+    template <typename Fn>
+    void
+    forEachReqCell(Fn&& fn) const
+    {
+        for (int op = 0; op < kNumOps; ++op)
+            for (int s = 0; s < kProtoStates; ++s)
+                fn(op, s, req[op][s]);
+    }
+
+    /// Call fn(op, stateIdx, const RemCell&) for every remote-holder
+    /// cell, same order as forEachReqCell.
+    template <typename Fn>
+    void
+    forEachRemCell(Fn&& fn) const
+    {
+        for (int op = 0; op < kNumOps; ++op)
+            for (int s = 0; s < kProtoStates; ++s)
+                fn(op, s, rem[op][s]);
+    }
+
+    /**
+     * Bitmask over LineState indices of the cache states these tables
+     * can drive a line into (bit s => state index s enterable),
+     * derived from the next-state tokens themselves: Invalid is always
+     * live, Same adds nothing, OwnedIfSharers adds Owned and Dirty.
+     * MESI yields {Invalid,Shared,Dirty}; MOESI/Dragon add Owned. A
+     * state observed outside this mask is a table bug.
+     */
+    unsigned reachableStates() const;
+
     static const Protocol& mesi();
     static const Protocol& moesi();
     static const Protocol& dragon();

@@ -304,6 +304,40 @@ TEST(DirectoryFormats, LimitedPointerOverflowBroadcasts)
     EXPECT_EQ(wide.totals().invalsSpurious, 0u);
 }
 
+TEST(DirectoryFormats, PointerOverflowBroadcastsDragonUpdatesToo)
+{
+    // Overflow-broadcast composes with an *update* protocol: after
+    // the second reader overflows ptr:1, P0's second write pushes its
+    // Dragon update to every processor — P3's copy-less update is
+    // spurious traffic, while the real updates (and the cache hits
+    // they enable) match the exact-sharer machine bit for bit.
+    const int lines = 8;
+    const sim::RunResult exact =
+        runSharingLitmus(comboConfig("dragon", "fullbv"), lines);
+    const sim::RunResult ptr =
+        runSharingLitmus(comboConfig("dragon", "ptr:1"), lines);
+
+    EXPECT_EQ(exact.totals().invalsSpurious, 0u);
+    EXPECT_GT(ptr.totals().invalsSpurious, 0u);
+    EXPECT_EQ(ptr.totals().updatesSent, exact.totals().updatesSent);
+    EXPECT_EQ(ptr.totals().updatesReceived,
+              exact.totals().updatesReceived);
+    // Dragon stays an update protocol under overflow: broadcasting
+    // must not turn updates into invalidations.
+    EXPECT_EQ(exact.totals().invalsSent, 0u);
+    EXPECT_EQ(ptr.totals().invalsSent, 0u);
+    EXPECT_EQ(ptr.totals().invalsReceived, 0u);
+    // The refreshed copies still serve P1's final pass from cache.
+    EXPECT_EQ(ptr.procs[1].c.misses(), exact.procs[1].c.misses());
+
+    // ptr:4 holds all three sharers of this program: no overflow, no
+    // spurious fan-out.
+    const sim::RunResult wide =
+        runSharingLitmus(comboConfig("dragon", "ptr:4"), lines);
+    EXPECT_EQ(wide.totals().invalsSpurious, 0u);
+    EXPECT_EQ(wide.totals().updatesSent, exact.totals().updatesSent);
+}
+
 TEST(DirectoryFormats, CompressedFormatsStayCoherentUnderTheOracle)
 {
     // Spurious fan-out must never touch cache contents: an oracle-

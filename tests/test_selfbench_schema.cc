@@ -210,6 +210,50 @@ TEST(SelfbenchSchema, HistoryAccumulatesAcrossRewrites)
     std::remove(path.c_str());
 }
 
+TEST(SelfbenchSchema, HistoryDedupesByGitRevision)
+{
+    // Re-benchmarking the same checkout replaces its history entry
+    // instead of appending a duplicate: the trajectory stays one
+    // entry per revision, round-tripped through the emitted file.
+    const sb::GridResult r = sb::runGrid(tinyGrid());
+    const std::string path =
+        std::string(::testing::TempDir()) + "bench_dedupe.json";
+    std::remove(path.c_str());
+
+    const auto emitRun = [&](const std::string& rev,
+                             const std::string& date) {
+        ccnuma::core::MetricsSink sink(path);
+        sb::emit(sink, r, "tiny", rev);
+        const std::size_t idx =
+            sb::appendHistory(sink, path, r, "tiny", rev, date);
+        EXPECT_TRUE(sink.write());
+        return idx;
+    };
+
+    EXPECT_EQ(emitRun("rev-a", "2026-08-01"), 0u);
+    EXPECT_EQ(emitRun("rev-b", "2026-08-02"), 1u);
+    // Same revision again: rev-b's old entry is dropped, the new
+    // measurement lands at the same index.
+    EXPECT_EQ(emitRun("rev-b", "2026-08-03"), 1u);
+
+    const json::ParseResult pr = json::parseFile(path);
+    ASSERT_TRUE(pr.ok) << pr.error;
+    const json::Value* h0 = findRun(pr.root, "history/0");
+    const json::Value* h1 = findRun(pr.root, "history/1");
+    ASSERT_NE(h0, nullptr);
+    ASSERT_NE(h1, nullptr);
+    EXPECT_EQ(findRun(pr.root, "history/2"), nullptr);
+    EXPECT_EQ(h0->find("gitDescribe")->str, "rev-a");
+    EXPECT_EQ(h0->find("date")->str, "2026-08-01");
+    EXPECT_EQ(h1->find("gitDescribe")->str, "rev-b");
+    EXPECT_EQ(h1->find("date")->str, "2026-08-03");
+
+    // An unrelated revision still appends after the dedupe.
+    EXPECT_EQ(emitRun("rev-c", "2026-08-04"), 2u);
+
+    std::remove(path.c_str());
+}
+
 TEST(SelfbenchSchema, CompareBaselineRoundTrip)
 {
     // A grid compared against its own emitted baseline is ratio ~1 and
