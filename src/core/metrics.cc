@@ -1,6 +1,7 @@
 #include "core/metrics.hh"
 
 #include <fstream>
+#include <sstream>
 
 #include "obs/json.hh"
 #include "sim/config.hh"
@@ -90,12 +91,28 @@ MetricsSink::addText(const std::string& label, const std::string& key,
 bool
 MetricsSink::write() const
 {
-    if (!enabled())
+    if (path_.empty())
         return true;
     std::ofstream f(path_);
     if (!f)
         return false;
-    obs::JsonWriter w(f, 2);
+    emit(f, 2);
+    f << '\n';
+    return static_cast<bool>(f);
+}
+
+std::string
+MetricsSink::str(int indent) const
+{
+    std::ostringstream out;
+    emit(out, indent);
+    return std::move(out).str();
+}
+
+void
+MetricsSink::emit(std::ostream& f, int indent) const
+{
+    obs::JsonWriter w(f, indent);
     w.beginObject();
     w.field("generator", "ccnuma-scale metrics sink");
     if (!machineProtocol_.empty()) {
@@ -146,8 +163,6 @@ MetricsSink::write() const
     }
     w.endArray();
     w.endObject();
-    f << '\n';
-    return static_cast<bool>(f);
 }
 
 } // namespace ccnuma::core

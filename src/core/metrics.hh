@@ -10,6 +10,7 @@
 #define CCNUMA_CORE_METRICS_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,7 +33,18 @@ class MetricsSink
   public:
     explicit MetricsSink(std::string path) : path_(std::move(path)) {}
 
-    bool enabled() const { return !path_.empty(); }
+    /// A sink that collects without a backing file; read it out with
+    /// str(). Used by ccnuma_serve to stream results over the wire in
+    /// exactly the format the bench binaries write to disk.
+    static MetricsSink
+    inMemory()
+    {
+        MetricsSink s{std::string()};
+        s.collect_ = true;
+        return s;
+    }
+
+    bool enabled() const { return collect_ || !path_.empty(); }
 
     /// Record the machine identity the runs used — coherence protocol
     /// and directory sharer format — emitted once as a top-level
@@ -54,8 +66,12 @@ class MetricsSink
                  const std::string& v);
 
     /// Write the JSON document; returns false on I/O error (or true
-    /// without writing when disabled).
+    /// without writing when disabled or in-memory).
     bool write() const;
+
+    /// Render the JSON document as a string (indent 0 = one compact
+    /// line, newline-free — the ccnuma_serve NDJSON payload form).
+    std::string str(int indent = 0) const;
 
   private:
     struct Entry {
@@ -69,8 +85,10 @@ class MetricsSink
         std::vector<std::pair<std::string, double>> scalars;
     };
     Entry& entry(const std::string& label);
+    void emit(std::ostream& out, int indent) const;
 
     std::string path_;
+    bool collect_ = false;
     std::string machineProtocol_;
     std::string machineDirFormat_;
     std::vector<Entry> entries_;

@@ -90,6 +90,56 @@ StudyResult::emit(MetricsSink& sink) const
 
 StudyRunner::StudyRunner(StudyOptions opt) : opt_(opt) {}
 
+StudyRunner::~StudyRunner()
+{
+    {
+        std::lock_guard<std::mutex> lk(subMu_);
+        subStop_ = true;
+    }
+    subCv_.notify_all();
+    if (subThread_.joinable())
+        subThread_.join();
+}
+
+std::future<StudyResult>
+StudyRunner::submit(StudyPlan plan)
+{
+    std::promise<StudyResult> promise;
+    std::future<StudyResult> fut = promise.get_future();
+    {
+        std::lock_guard<std::mutex> lk(subMu_);
+        subQ_.emplace_back(std::move(plan), std::move(promise));
+        if (!subThread_.joinable())
+            subThread_ = std::thread([this] { drainSubmissions(); });
+    }
+    subCv_.notify_one();
+    return fut;
+}
+
+void
+StudyRunner::drainSubmissions()
+{
+    std::unique_lock<std::mutex> lk(subMu_);
+    for (;;) {
+        subCv_.wait(lk, [&] { return subStop_ || !subQ_.empty(); });
+        if (subQ_.empty())
+            return; // only reachable when subStop_
+        StudyPlan plan = std::move(subQ_.front().first);
+        std::promise<StudyResult> promise =
+            std::move(subQ_.front().second);
+        subQ_.pop_front();
+        lk.unlock();
+        // run() never throws for per-run failures; anything that does
+        // escape (e.g. bad_alloc) lands in the future, not std::terminate.
+        try {
+            promise.set_value(run(plan));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+        lk.lock();
+    }
+}
+
 StudyResult
 StudyRunner::run(const StudyPlan& plan)
 {

@@ -22,8 +22,14 @@
 #ifndef CCNUMA_CORE_STUDY_RUNNER_HH
 #define CCNUMA_CORE_STUDY_RUNNER_HH
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/seq_cache.hh"
@@ -135,16 +141,41 @@ class StudyRunner
 {
   public:
     explicit StudyRunner(StudyOptions opt = {});
+    /// Joins the submission thread after draining every pending
+    /// submit()ted plan (their futures all become ready).
+    ~StudyRunner();
+    StudyRunner(const StudyRunner&) = delete;
+    StudyRunner& operator=(const StudyRunner&) = delete;
 
     /// Run every spec; never throws for per-run failures (see
     /// RunOutcome::error).
     StudyResult run(const StudyPlan& plan);
 
+    /**
+     * Asynchronous front door for run(): enqueue `plan` and get a
+     * future for its StudyResult. Plans drain FIFO through run() on
+     * one lazily-started internal thread, so concurrent submitters
+     * (e.g. ccnuma_serve connection handlers) share the worker pool,
+     * the host-thread budget and the baseline cache instead of each
+     * spinning up their own study. submit() is thread-safe; the
+     * not-re-entrant rule moves to "don't call run() directly while
+     * submissions are outstanding".
+     */
+    std::future<StudyResult> submit(StudyPlan plan);
+
     SeqBaselineCache& baselineCache() { return cache_; }
 
   private:
+    void drainSubmissions();
+
     StudyOptions opt_;
     SeqBaselineCache cache_;
+    // ---- submit() machinery ----
+    std::mutex subMu_;
+    std::condition_variable subCv_;
+    std::deque<std::pair<StudyPlan, std::promise<StudyResult>>> subQ_;
+    std::thread subThread_; ///< Started by the first submit().
+    bool subStop_ = false;
 };
 
 } // namespace ccnuma::core

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Single-flight LRU result cache for ccnuma_serve.
+ *
+ * Maps a canonical request key (Request::cacheKey()) to the finished
+ * payload string. Concurrent requests for the same key simulate once:
+ * the first caller becomes the leader and computes; followers block
+ * until the value is ready (the same discipline as
+ * core::SeqBaselineCache, plus LRU eviction over completed entries).
+ *
+ * Failure never poisons the cache: a throwing leader erases its
+ * in-flight entry, rethrows to its own caller, and wakes the
+ * followers, the oldest of which is promoted to leader and recomputes.
+ * A repeat of a previously failed request therefore re-simulates
+ * instead of replaying a stale error — the server-path regression
+ * tests pin this down.
+ */
+
+#ifndef CCNUMA_SERVE_CACHE_HH
+#define CCNUMA_SERVE_CACHE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace ccnuma::serve {
+
+class ResultCache
+{
+  public:
+    /// `capacity` completed entries are retained (LRU); 0 disables
+    /// caching entirely (every call computes).
+    explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Return {payload, cached}: cached=true when the payload came from
+     * a completed entry or another caller's completed flight (no
+     * simulation ran on this call's behalf), false when this call
+     * computed it. `compute` runs without the lock; if it throws the
+     * exception propagates to this caller only.
+     */
+    std::pair<std::string, bool>
+    getOrCompute(const std::string& key,
+                 const std::function<std::string()>& compute)
+    {
+        if (capacity_ == 0)
+            return {compute(), false};
+
+        std::unique_lock<std::mutex> lk(mu_);
+        for (;;) {
+            auto it = map_.find(key);
+            if (it == map_.end()) {
+                map_.emplace(key, Entry{});
+                break; // we are the leader
+            }
+            if (it->second.ready) {
+                it->second.lastUse = ++tick_;
+                return {it->second.value, true};
+            }
+            cv_.wait(lk); // in flight; wait for the leader
+        }
+
+        lk.unlock();
+        std::string value;
+        try {
+            value = compute();
+        } catch (...) {
+            lk.lock();
+            map_.erase(key);
+            cv_.notify_all(); // promote a waiting follower
+            throw;
+        }
+        lk.lock();
+        Entry& e = map_[key];
+        e.value = std::move(value);
+        e.ready = true;
+        e.lastUse = ++tick_;
+        evictLocked();
+        cv_.notify_all();
+        return {e.value, false};
+    }
+
+    /// Completed entries currently held.
+    std::size_t
+    size()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        std::size_t n = 0;
+        for (const auto& [k, e] : map_)
+            n += e.ready ? 1 : 0;
+        return n;
+    }
+
+  private:
+    struct Entry {
+        std::string value;
+        bool ready = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    void
+    evictLocked()
+    {
+        std::size_t ready = 0;
+        for (const auto& [k, e] : map_)
+            ready += e.ready ? 1 : 0;
+        while (ready > capacity_) {
+            auto victim = map_.end();
+            for (auto it = map_.begin(); it != map_.end(); ++it)
+                if (it->second.ready &&
+                    (victim == map_.end() ||
+                     it->second.lastUse < victim->second.lastUse))
+                    victim = it;
+            map_.erase(victim);
+            --ready;
+        }
+    }
+
+    const std::size_t capacity_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::unordered_map<std::string, Entry> map_;
+    std::uint64_t tick_ = 0;
+};
+
+} // namespace ccnuma::serve
+
+#endif // CCNUMA_SERVE_CACHE_HH

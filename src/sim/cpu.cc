@@ -45,6 +45,9 @@ Cpu::barrier(BarrierId b)
                   b.idx);
         return SyncAwait{*this, true};
     }
+    if (rec_) [[unlikely]]
+        rec_->onOp(id_, OpKind::Barrier,
+                   static_cast<std::uint64_t>(b.idx));
     const bool proceed = machine_->barrierArrive(b, *this);
     return SyncAwait{*this, !proceed};
 }
@@ -57,6 +60,9 @@ Cpu::acquire(LockId l)
                   l.idx);
         return SyncAwait{*this, true};
     }
+    if (rec_) [[unlikely]]
+        rec_->onOp(id_, OpKind::Acquire,
+                   static_cast<std::uint64_t>(l.idx));
     const bool granted = machine_->lockAcquire(l, *this);
     return SyncAwait{*this, !granted};
 }
@@ -68,6 +74,9 @@ Cpu::release(LockId l)
         scoutSync(OpKind::Release, ScoutSyncEvent::Kind::Release, l.idx);
         return;
     }
+    if (rec_) [[unlikely]]
+        rec_->onOp(id_, OpKind::Release,
+                   static_cast<std::uint64_t>(l.idx));
     machine_->lockRelease(l, *this);
 }
 

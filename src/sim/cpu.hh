@@ -16,6 +16,7 @@
 #include "obs/trace.hh"
 #include "sim/memsys.hh"
 #include "sim/oplog.hh"
+#include "sim/recorder.hh"
 #include "sim/stats.hh"
 #include "sim/sync.hh"
 #include "sim/types.hh"
@@ -51,6 +52,8 @@ class Cpu
             scoutOp(OpKind::Busy, c, c);
             return;
         }
+        if (rec_) [[unlikely]]
+            rec_->onOp(id_, OpKind::Busy, c);
         if (obs::kTracingCompiled && trace_)
             trace_->addBusy(id_, now_, c);
         now_ += c;
@@ -64,6 +67,8 @@ class Cpu
             scoutOp(OpKind::Read, addr, scout_->memCost);
             return;
         }
+        if (rec_) [[unlikely]]
+            rec_->onOp(id_, OpKind::Read, addr);
         const Cycles l = mem_->access(id_, now_, addr, false, *stats_);
         if (obs::kTracingCompiled && trace_)
             trace_->addMemStall(id_, now_, l);
@@ -78,6 +83,8 @@ class Cpu
             scoutOp(OpKind::Write, addr, scout_->memCost);
             return;
         }
+        if (rec_) [[unlikely]]
+            rec_->onOp(id_, OpKind::Write, addr);
         const Cycles l = mem_->access(id_, now_, addr, true, *stats_);
         if (obs::kTracingCompiled && trace_)
             trace_->addMemStall(id_, now_, l);
@@ -92,6 +99,8 @@ class Cpu
             scoutOp(OpKind::Prefetch, addr, 1);
             return;
         }
+        if (rec_) [[unlikely]]
+            rec_->onOp(id_, OpKind::Prefetch, addr);
         mem_->prefetch(id_, now_, addr, *stats_);
         if (obs::kTracingCompiled && trace_)
             trace_->addBusy(id_, now_, 1);
@@ -110,6 +119,8 @@ class Cpu
             scoutOp(OpKind::FetchOp, addr, scout_->memCost);
             return;
         }
+        if (rec_) [[unlikely]]
+            rec_->onOp(id_, OpKind::FetchOp, addr);
         const Cycles l = mem_->fetchOp(id_, now_, addr, *stats_);
         if (obs::kTracingCompiled && trace_)
             trace_->addMemStall(id_, now_, l);
@@ -124,6 +135,8 @@ class Cpu
             scoutOp(OpKind::Rmw, addr, scout_->memCost);
             return;
         }
+        if (rec_) [[unlikely]]
+            rec_->onOp(id_, OpKind::Rmw, addr);
         const Cycles l = mem_->llscRmw(id_, now_, addr, *stats_);
         if (obs::kTracingCompiled && trace_)
             trace_->addMemStall(id_, now_, l);
@@ -149,6 +162,8 @@ class Cpu
     {
         if (scout_) [[unlikely]]
             scout_->log->push(OpKind::Checkpoint, 0);
+        if (rec_) [[unlikely]]
+            rec_->onOp(id_, OpKind::Checkpoint, 0);
         return Checkpoint{*this};
     }
 
@@ -177,6 +192,8 @@ class Cpu
         // (a fresh quantum after resume never re-fires immediately).
         if (scout_) [[unlikely]]
             scout_->log->push(OpKind::Checkpoint, 0);
+        if (rec_) [[unlikely]]
+            rec_->onOp(id_, OpKind::Checkpoint, 0);
         return {*this};
     }
 
@@ -233,6 +250,9 @@ class Cpu
     const ProcStats& stats() const { return *stats_; }
     void setNow(Cycles t) { now_ = t; }
     void attachTrace(obs::Trace* t) { trace_ = t; }
+    /// Mirror every operation this processor issues into `r` (trace
+    /// recording; see sim/recorder.hh). Serial engine only.
+    void attachRecorder(OpRecorder* r) { rec_ = r; }
     void
     chargeSyncOp(Cycles c)
     {
@@ -305,6 +325,7 @@ class Cpu
     ProcStats* stats_;
     obs::Trace* trace_ = nullptr;
     ScoutLink* scout_ = nullptr;
+    OpRecorder* rec_ = nullptr;
     ProcId id_;
     int nprocs_;
     Cycles now_ = 0;

@@ -29,6 +29,8 @@ Machine::alloc(std::uint64_t bytes)
             "makes the operation stream timing-dependent; run this "
             "program with simJobs=1 (or leave the app unflagged in the "
             "registry so core::runApp falls back to serial)");
+    if (rec_ && !recMuted_)
+        rec_->onAlloc(bytes);
     const Addr a = nextAddr_;
     const std::uint64_t page = cfg_.pageBytes;
     nextAddr_ += (bytes + page - 1) / page * page;
@@ -52,6 +54,8 @@ Machine::allocLine()
 void
 Machine::placeAcrossProcs(Addr addr, std::uint64_t bytes)
 {
+    if (rec_)
+        rec_->onPlaceAcross(addr, bytes);
     std::vector<NodeId> order(cfg_.numProcs);
     for (int p = 0; p < cfg_.numProcs; ++p)
         order[p] = topo_.nodeOfProcess(p);
@@ -63,7 +67,11 @@ Machine::barrierCreate(int participants)
 {
     BarrierState bs;
     bs.participants = participants < 0 ? cfg_.numProcs : participants;
+    if (rec_)
+        rec_->onBarrierCreate(bs.participants);
+    recMuted_ = true;
     bs.line = allocLine();
+    recMuted_ = false;
     barriers_.push_back(bs);
     return BarrierId{static_cast<int>(barriers_.size()) - 1};
 }
@@ -71,8 +79,12 @@ Machine::barrierCreate(int participants)
 LockId
 Machine::lockCreate()
 {
+    if (rec_)
+        rec_->onLockCreate();
+    recMuted_ = true;
     LockState ls;
     ls.line = allocLine();
+    recMuted_ = false;
     locks_.push_back(ls);
     return LockId{static_cast<int>(locks_.size()) - 1};
 }
@@ -87,8 +99,10 @@ Machine::run(const Program& program)
             "not reset)");
     ran_ = true;
     const int jobs = resolveSimJobs();
-    if (jobs > 1 && !cfg_.check.serialEngine && cfg_.numNodes() >= 2 &&
-        cfg_.numProcs >= 2)
+    // Recording is a serial-engine feature: the scout pass has its own
+    // op-stream machinery and would bypass the recorder taps entirely.
+    if (jobs > 1 && !rec_ && !cfg_.check.serialEngine &&
+        cfg_.numNodes() >= 2 && cfg_.numProcs >= 2)
         return runParallel(program, jobs - 1);
     return runSerial(program);
 }
@@ -124,6 +138,7 @@ Machine::prepareEngine(std::vector<Cpu>& into)
         into.emplace_back(*this, mem_, sched_, statsView_[p], p,
                           cfg_.numProcs);
         into.back().attachTrace(trace_.get());
+        into.back().attachRecorder(rec_);
     }
     runCpus_ = &into;
     sched_.attach(&into);

@@ -17,6 +17,7 @@
 #include "obs/trace.hh"
 #include "sim/config.hh"
 #include "sim/cpu.hh"
+#include "sim/recorder.hh"
 #include "sim/memsys.hh"
 #include "sim/scheduler.hh"
 #include "sim/stats.hh"
@@ -56,6 +57,8 @@ class Machine
     void
     place(Addr addr, std::uint64_t bytes, NodeId node)
     {
+        if (rec_)
+            rec_->onPlace(addr, bytes, node);
         mem_.place(addr, bytes, node);
     }
     /// Place `bytes` from `addr` in contiguous blocks across the nodes of
@@ -89,6 +92,17 @@ class Machine
         syncObs_ = o;
         mem_.attachSyncObserver(o);
     }
+
+    /**
+     * Attach (or detach with nullptr) an operation recorder (see
+     * sim/recorder.hh): it sees every machine-building call and every
+     * per-processor operation, which is a complete replayable
+     * description of the run. Attach before setup()/run(). While a
+     * recorder is attached run() always uses the serial engine — the
+     * parallel scout pass records through its own machinery and the
+     * taps would see nothing.
+     */
+    void attachOpRecorder(OpRecorder* r) { rec_ = r; }
 
     /// Called by apps::TaskQueues when a steal succeeds (forwards the
     /// happens-before steal edge to the attached SyncObserver).
@@ -136,6 +150,10 @@ class Machine
     std::deque<LockState> locks_;
     Addr nextAddr_ = 1u << 20; // leave page 0 unused
     SyncObserver* syncObs_ = nullptr;
+    OpRecorder* rec_ = nullptr;
+    /// Suppresses onAlloc for the line allocation folded into a
+    /// barrierCreate()/lockCreate() (replay recreates it implicitly).
+    bool recMuted_ = false;
     bool ran_ = false;
     std::vector<ProcStats> statsView_;
     std::shared_ptr<obs::Trace> trace_;

@@ -333,3 +333,93 @@ TEST(SeqBaselineCache, InsertPreSeedsValues)
               123u);
     EXPECT_EQ(cache.lookup("cold"), std::nullopt);
 }
+
+TEST(StudyRunnerSubmit, FutureDeliversSameResultAsRun)
+{
+    const core::StudyPlan plan = smallGrid();
+
+    core::StudyRunner sync({.jobs = 2});
+    const core::StudyResult want = sync.run(plan);
+
+    core::StudyRunner runner({.jobs = 2});
+    std::future<core::StudyResult> fut = runner.submit(plan);
+    const core::StudyResult got = fut.get();
+    ASSERT_EQ(got.runs.size(), want.runs.size());
+    for (std::size_t i = 0; i < got.runs.size(); ++i) {
+        SCOPED_TRACE(got.runs[i].name);
+        ASSERT_TRUE(got.runs[i].ok) << got.runs[i].error;
+        EXPECT_EQ(got.runs[i].name, want.runs[i].name);
+        expectSameStats(got.runs[i].m.par, want.runs[i].m.par);
+    }
+}
+
+TEST(StudyRunnerSubmit, ConcurrentSubmittersAllComplete)
+{
+    core::StudyRunner runner({.jobs = 2});
+    constexpr int kSubmitters = 6;
+    std::vector<std::future<core::StudyResult>> futs(kSubmitters);
+    std::vector<std::thread> threads;
+    threads.reserve(kSubmitters);
+    for (int i = 0; i < kSubmitters; ++i)
+        threads.emplace_back([&, i] {
+            core::StudyPlan plan;
+            plan.add("fft P=2", sim::MachineConfig::origin2000(2),
+                     [] { return apps::makeApp("fft", 1 << 10); },
+                     "fft-submit");
+            futs[i] = runner.submit(std::move(plan));
+        });
+    for (auto& t : threads)
+        t.join();
+
+    sim::Cycles time = 0;
+    for (int i = 0; i < kSubmitters; ++i) {
+        const core::StudyResult res = futs[i].get();
+        ASSERT_EQ(res.runs.size(), 1u);
+        ASSERT_TRUE(res.runs[0].ok) << res.runs[0].error;
+        if (i == 0)
+            time = res.runs[0].m.parTime;
+        else
+            EXPECT_EQ(res.runs[0].m.parTime, time)
+                << "identical plans, identical results";
+    }
+    // All six submissions shared one cached uniprocessor baseline.
+    EXPECT_EQ(runner.baselineCache().size(), 1u);
+}
+
+TEST(StudyRunnerSubmit, DestructorDrainsPendingSubmissions)
+{
+    std::future<core::StudyResult> early;
+    std::future<core::StudyResult> late;
+    {
+        core::StudyRunner runner({.jobs = 1});
+        const auto mkPlan = [] {
+            core::StudyPlan plan;
+            plan.addParallelOnly(
+                "fft", sim::MachineConfig::origin2000(2),
+                [] { return apps::makeApp("fft", 1 << 10); });
+            return plan;
+        };
+        early = runner.submit(mkPlan());
+        late = runner.submit(mkPlan());
+        // Destroy with work still (possibly) queued.
+    }
+    EXPECT_TRUE(early.get().runs[0].ok);
+    EXPECT_TRUE(late.get().runs[0].ok);
+}
+
+TEST(StudyRunnerSubmit, PerRunFailuresStayIsolated)
+{
+    core::StudyRunner runner({.jobs = 1});
+    core::StudyPlan plan;
+    plan.addParallelOnly("boom", sim::MachineConfig::origin2000(2), [] {
+        return apps::makeApp("no-such-app");
+    });
+    plan.addParallelOnly("fft", sim::MachineConfig::origin2000(2), [] {
+        return apps::makeApp("fft", 1 << 10);
+    });
+    const core::StudyResult res = runner.submit(std::move(plan)).get();
+    ASSERT_EQ(res.runs.size(), 2u);
+    EXPECT_FALSE(res.runs[0].ok);
+    EXPECT_NE(res.runs[0].error.find("no-such-app"), std::string::npos);
+    EXPECT_TRUE(res.runs[1].ok) << res.runs[1].error;
+}

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Trace record/replay differential suite: a trace recorded from an
+ * application and replayed through apps::TraceReplayApp must reproduce
+ * the recording run bit-for-bit — the same RunResult fields and the
+ * same MetricsSink JSON bytes. Also covers the text format round trip,
+ * strict-parse error reporting, cross-machine replay, and the
+ * semantic-failure path (a well-formed trace whose op arguments are
+ * invalid throws mid-simulation, not at parse time).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "apps/registry.hh"
+#include "apps/trace.hh"
+#include "bit_identity.hh"
+#include "core/metrics.hh"
+#include "sim/config.hh"
+#include "sim/machine.hh"
+
+namespace {
+
+using namespace ccnuma;
+
+std::string
+metricsJson(const sim::MachineConfig& cfg, const sim::RunResult& r)
+{
+    core::MetricsSink sink = core::MetricsSink::inMemory();
+    sink.setMachine(cfg);
+    sink.add("run", r);
+    return sink.str();
+}
+
+/// Record `name` at `size` on `cfg`, replay the trace on an identically
+/// configured fresh machine, and demand byte equality end to end.
+void
+expectReplayExact(const std::string& name, std::uint64_t size,
+                  sim::MachineConfig cfg)
+{
+    SCOPED_TRACE(name);
+    auto app = apps::makeApp(name, size);
+    const apps::RecordedTrace rec = recordTrace(cfg, *app);
+
+    EXPECT_EQ(rec.trace.procs, cfg.numProcs);
+    EXPECT_GT(rec.trace.totalOps(), 0u);
+
+    apps::TraceReplayApp replay(rec.trace);
+    EXPECT_EQ(replay.name(), "trace:" + name);
+    sim::Machine m(cfg);
+    replay.setup(m);
+    const sim::RunResult r = m.run(replay.program());
+
+    testutil::expectIdentical(rec.run, r, "replay of " + name);
+    EXPECT_EQ(metricsJson(cfg, rec.run), metricsJson(cfg, r));
+}
+
+TEST(TraceReplay, FftExact)
+{
+    expectReplayExact("fft", 1u << 10, sim::MachineConfig::origin2000(4));
+}
+
+TEST(TraceReplay, OceanExact)
+{
+    expectReplayExact("ocean", 66, sim::MachineConfig::origin2000(4));
+}
+
+// Lock-heavy app: exercises Acquire/Release/Rmw/FetchOp replay.
+TEST(TraceReplay, RaytraceExact)
+{
+    expectReplayExact("raytrace", 32, sim::MachineConfig::origin2000(4));
+}
+
+// Timing-VARIANT app (task stealing): unreplayable by rerunning the
+// program under another engine, but a recorded trace bakes the dynamic
+// decisions into the streams, so trace replay is still exact. This is
+// the case that distinguishes the recorder from the scout engine.
+TEST(TraceReplay, TimingVariantAppExact)
+{
+    ASSERT_FALSE(apps::timingInvariant("volrend"));
+    expectReplayExact("volrend", 32, sim::MachineConfig::origin2000(4));
+}
+
+TEST(TraceReplay, ReplayIsDeterministicAcrossRuns)
+{
+    auto app = apps::makeApp("radix", 1u << 12);
+    const sim::MachineConfig cfg = sim::MachineConfig::origin2000(8);
+    const apps::RecordedTrace rec = recordTrace(cfg, *app);
+
+    std::string first;
+    for (int i = 0; i < 2; ++i) {
+        apps::TraceReplayApp replay(rec.trace);
+        sim::Machine m(cfg);
+        replay.setup(m);
+        const std::string j = metricsJson(cfg, m.run(replay.program()));
+        if (i == 0)
+            first = j;
+        else
+            EXPECT_EQ(first, j);
+    }
+    EXPECT_EQ(first, metricsJson(cfg, rec.run));
+}
+
+// A trace is a machine-independent workload description: replaying on
+// a different protocol/directory must run (different numbers, same
+// totals of issued operations).
+TEST(TraceReplay, ReplayOnDifferentMachine)
+{
+    auto app = apps::makeApp("fft", 1u << 10);
+    sim::MachineConfig rec_cfg = sim::MachineConfig::origin2000(4);
+    const apps::RecordedTrace rec = recordTrace(rec_cfg, *app);
+
+    sim::MachineConfig other = sim::MachineConfig::origin2000(4);
+    ASSERT_TRUE(other.protocol.parse("moesi"));
+    ASSERT_TRUE(other.dirFormat.parse("coarse:4"));
+    apps::TraceReplayApp replay(rec.trace);
+    sim::Machine m(other);
+    replay.setup(m);
+    const sim::RunResult r = m.run(replay.program());
+
+    const auto a = rec.run.totals();
+    const auto b = r.totals();
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.barriersPassed, b.barriersPassed);
+    EXPECT_EQ(a.lockAcquires, b.lockAcquires);
+}
+
+TEST(TraceReplay, ProcsMismatchThrows)
+{
+    auto app = apps::makeApp("fft", 1u << 10);
+    const apps::RecordedTrace rec =
+        recordTrace(sim::MachineConfig::origin2000(4), *app);
+    apps::TraceReplayApp replay(rec.trace);
+    sim::Machine m(sim::MachineConfig::origin2000(8));
+    EXPECT_THROW(replay.setup(m), std::invalid_argument);
+}
+
+TEST(TraceFormat, SerializeParseRoundTrip)
+{
+    auto app = apps::makeApp("ocean", 66);
+    const apps::RecordedTrace rec =
+        recordTrace(sim::MachineConfig::origin2000(4), *app);
+
+    const std::string text = rec.trace.serialize();
+    const apps::TraceParseResult parsed = apps::parseTrace(text);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.trace.app, rec.trace.app);
+    EXPECT_EQ(parsed.trace.procs, rec.trace.procs);
+    EXPECT_EQ(parsed.trace.setup, rec.trace.setup);
+    EXPECT_EQ(parsed.trace.ops, rec.trace.ops);
+    EXPECT_EQ(parsed.trace.serialize(), text);
+    EXPECT_EQ(parsed.trace.hashHex(), rec.trace.hashHex());
+}
+
+TEST(TraceFormat, HashChangesWithContent)
+{
+    apps::Trace t;
+    t.procs = 1;
+    t.ops.resize(1);
+    t.ops[0].push_back({sim::OpKind::Read, 1u << 20});
+    const std::string h1 = t.hashHex();
+    EXPECT_EQ(h1.size(), 16u);
+    t.ops[0].push_back({sim::OpKind::Checkpoint, 0});
+    EXPECT_NE(t.hashHex(), h1);
+}
+
+TEST(TraceFormat, ParseErrorsCarryLineNumbers)
+{
+    const auto expectError = [](const std::string& text,
+                                const std::string& fragment) {
+        SCOPED_TRACE(fragment);
+        const apps::TraceParseResult r = apps::parseTrace(text);
+        EXPECT_FALSE(r.ok);
+        EXPECT_NE(r.error.find("line "), std::string::npos) << r.error;
+        EXPECT_NE(r.error.find(fragment), std::string::npos) << r.error;
+    };
+    expectError("", "ccnuma-trace v1");
+    expectError("ccnuma-trace v2\n", "ccnuma-trace v1");
+    expectError("ccnuma-trace v1\nops 0 0\nend\n", "procs");
+    expectError("ccnuma-trace v1\nprocs 0\n", "procs");
+    expectError("ccnuma-trace v1\nprocs 1\nfrobnicate 3\n",
+                "bad setup line");
+    expectError("ccnuma-trace v1\nprocs 1\nalloc 64\n",
+                "unexpected end of input");
+    expectError("ccnuma-trace v1\nprocs 2\nops 1 0\nops 0 0\nend\n",
+                "processor 0");
+    expectError("ccnuma-trace v1\nprocs 1\nops 0 2\nr 64\n",
+                "unexpected end of input");
+    expectError("ccnuma-trace v1\nprocs 1\nops 0 1\nq 64\nend\n",
+                "unknown op");
+    expectError("ccnuma-trace v1\nprocs 1\nops 0 1\nr\nend\n",
+                "needs one number");
+    expectError("ccnuma-trace v1\nprocs 1\nops 0 1\ny 3\nend\n",
+                "no argument");
+    expectError("ccnuma-trace v1\nprocs 1\nops 0 0\n", "end");
+    expectError("ccnuma-trace v1\nprocs 1\nops 0 0\nend\njunk\n",
+                "trailing content");
+}
+
+// A parseable trace whose op arguments dangle (barrier index with no
+// barrier) throws from inside the simulation — the layering the serve
+// cache-poisoning regression depends on.
+TEST(TraceFormat, DanglingBarrierIndexThrowsMidSim)
+{
+    const apps::TraceParseResult r = apps::parseTrace(
+        "ccnuma-trace v1\nprocs 1\nalloc 4096\nops 0 2\nr 1048576\nB "
+        "7\nend\n");
+    ASSERT_TRUE(r.ok) << r.error;
+    apps::TraceReplayApp replay(r.trace);
+    sim::Machine m(sim::MachineConfig::origin2000(1));
+    replay.setup(m);
+    EXPECT_THROW(m.run(replay.program()), std::out_of_range);
+}
+
+// Hand-written minimal trace: the format is writable by humans and
+// other tools, not only by the recorder.
+TEST(TraceFormat, HandWrittenTraceRuns)
+{
+    const apps::TraceParseResult r = apps::parseTrace(
+        "ccnuma-trace v1\n"
+        "app hand\n"
+        "procs 2\n"
+        "alloc 8192\n"
+        "barrier 2\n"
+        "ops 0 4\n"
+        "b 50\n"
+        "w 1048576\n"
+        "B 0\n"
+        "r 1048704\n"
+        "ops 1 4\n"
+        "b 10\n"
+        "w 1048704\n"
+        "B 0\n"
+        "r 1048576\n"
+        "end\n");
+    ASSERT_TRUE(r.ok) << r.error;
+    apps::TraceReplayApp replay(r.trace);
+    EXPECT_EQ(replay.name(), "trace:hand");
+    sim::Machine m(sim::MachineConfig::origin2000(2));
+    replay.setup(m);
+    const sim::RunResult res = m.run(replay.program());
+    const auto totals = res.totals();
+    EXPECT_EQ(totals.loads, 2u);
+    EXPECT_EQ(totals.stores, 2u);
+    EXPECT_EQ(totals.barriersPassed, 2u);
+}
+
+} // namespace
