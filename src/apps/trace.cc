@@ -1,5 +1,6 @@
 #include "apps/trace.hh"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <stdexcept>
@@ -318,7 +319,15 @@ parseTrace(const std::string& text)
                                       std::to_string(expect) + ", got " +
                                       std::to_string(p));
         auto& stream = t.ops[p];
-        stream.reserve(count);
+        // `count` is untrusted input; the shortest op line ("y\n") is
+        // two bytes, so the remaining text bounds how many ops can
+        // actually follow. Clamping keeps an absurd declared count from
+        // turning the reserve into std::length_error/bad_alloc — it
+        // becomes a plain "unexpected end of input" parse error below.
+        const std::uint64_t maxPossible =
+            cur.pos < text.size() ? (text.size() - cur.pos) / 2 : 0;
+        stream.reserve(
+            static_cast<std::size_t>(std::min(count, maxPossible)));
         for (std::uint64_t i = 0; i < count; ++i) {
             toks = cur.nextLine();
             if (toks.empty())

@@ -189,8 +189,11 @@ writeAll(int fd, const std::string& data)
 {
     std::size_t off = 0;
     while (off < data.size()) {
-        const ssize_t n =
-            ::write(fd, data.data() + off, data.size() - off);
+        // MSG_NOSIGNAL: a peer that vanished mid-pipeline must surface
+        // as EPIPE (-> false), not as a SIGPIPE that kills embedders
+        // (tests, library users) who never installed SIG_IGN.
+        const ssize_t n = ::send(fd, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;

@@ -102,7 +102,9 @@ class LineReader
     bool eof_ = false;
 };
 
-/// write(2) until everything is out; false on any failure.
+/// send(2) with MSG_NOSIGNAL until everything is out; false on any
+/// failure. A vanished peer reports EPIPE instead of raising SIGPIPE,
+/// so embedders need no signal handling. Socket fds only.
 bool writeAll(int fd, const std::string& data);
 
 } // namespace ccnuma::serve

@@ -95,6 +95,10 @@ Server::waitFor(std::chrono::milliseconds timeout)
 void
 Server::stop()
 {
+    // One caller tears down; truly concurrent callers block here until
+    // it finishes (join() on the same thread from two callers is UB),
+    // then fall out through the stopped_ gate below.
+    std::lock_guard<std::mutex> stopLk(stopMu_);
     {
         std::lock_guard<std::mutex> lk(mu_);
         if (stopped_)
@@ -197,7 +201,16 @@ Server::connectionLoop(const std::shared_ptr<Conn>& conn)
                                " bytes"));
             continue;
         }
-        ParsedRequest parsed = parseRequest(line);
+        ParsedRequest parsed;
+        try {
+            parsed = parseRequest(line);
+        } catch (const std::exception& e) {
+            // Parsing must never kill the daemon: an exception escaping
+            // this thread would be std::terminate. Answer and move on.
+            parsed.ok = false;
+            parsed.error = "bad-request";
+            parsed.detail = std::string("parse failure: ") + e.what();
+        }
         if (!parsed.ok) {
             {
                 std::lock_guard<std::mutex> lk(mu_);
@@ -283,8 +296,10 @@ Server::handleJob(const Job& job)
             std::chrono::duration_cast<std::chrono::milliseconds>(
                 std::chrono::steady_clock::now() - job.enqueued)
                 .count();
-        if (static_cast<std::uint64_t>(waited) > req.deadlineMs ||
-            req.deadlineMs == 0) {
+        // >= so deadlineMs:0 means expire-immediately (documented in
+        // wire.hh — a queue-latency probe, and what pins the expiry
+        // path in tests without racing the worker pool).
+        if (static_cast<std::uint64_t>(waited) >= req.deadlineMs) {
             {
                 std::lock_guard<std::mutex> lk(mu_);
                 ++stats_.expired;

@@ -104,7 +104,8 @@ class Server
     /// Graceful stop: refuse new connections, drain admitted work,
     /// answer it, then close connections and join every thread.
     /// Idempotent and safe to call from any thread except a server
-    /// worker/connection thread.
+    /// worker/connection thread; concurrent callers block until the
+    /// first teardown completes.
     void stop();
 
     ServerStats stats() const;
@@ -139,6 +140,7 @@ class Server
     std::thread acceptThread_;
     std::vector<std::thread> workerThreads_;
 
+    std::mutex stopMu_; ///< Serializes concurrent stop() teardowns.
     mutable std::mutex mu_;
     std::condition_variable queueCv_; ///< Workers sleep here.
     std::condition_variable idleCv_;  ///< stop() waits for drain here.

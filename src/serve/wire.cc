@@ -1,6 +1,7 @@
 #include "serve/wire.hh"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -50,14 +51,18 @@ reject(std::string id, std::string code, std::string detail)
     return r;
 }
 
-/// Non-negative integer (rejects fractions, signs, and non-numbers).
+/// Non-negative integer that fits in a u64 (rejects fractions, signs,
+/// non-numbers, and out-of-range values — Value::asU64 would silently
+/// saturate the latter to 2^64-1).
 bool
 asCount(const json::Value& v, std::uint64_t& out)
 {
     if (!v.isNumber() || v.raw.find_first_of(".-eE") != std::string::npos)
         return false;
-    out = v.asU64();
-    return true;
+    const char* const first = v.raw.data();
+    const char* const last = first + v.raw.size();
+    const auto [p, ec] = std::from_chars(first, last, out);
+    return ec == std::errc{} && p == last;
 }
 
 } // namespace

@@ -22,7 +22,9 @@
  * fields: size (0 = the app's basic size), protocol, dirFormat,
  * baseline (study only, default true), obs (attach the sharing
  * profiler and return hot-line artifacts), deadlineMs (admission
- * deadline; a request not *started* within it is rejected).
+ * deadline; a request that waited >= deadlineMs before a worker
+ * *started* it is rejected "expired" — so 0 expires immediately, a
+ * queue-latency probe; omit the field for no deadline).
  *
  * Responses:
  *

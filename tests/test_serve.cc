@@ -224,6 +224,19 @@ TEST(Serve, BadRequestsAreTypedAndSpecific)
         R"({"id":"x","type":"study","app":"fft","procs":[2],"zzz":1})",
         "unexpected field");
     expectBad(R"({"id":"x","type":"trace","trace":"bogus"})", "trace:");
+    // An absurd declared op count must be a parse error, not an
+    // attacker-triggered std::length_error that kills the daemon.
+    expectBad(
+        R"({"id":"x","type":"trace","trace":"ccnuma-trace v1\nprocs 1\nops 0 999999999999999999\nend\n"})",
+        "trace:");
+    // Out-of-range counts are rejected, not silently saturated to
+    // 2^64-1 by strtoull.
+    expectBad(
+        R"({"id":"x","type":"study","app":"fft","size":99999999999999999999999,"procs":[2]})",
+        "size");
+    expectBad(
+        R"({"id":"x","type":"study","app":"fft","procs":[2],"deadlineMs":99999999999999999999999})",
+        "deadlineMs");
     // Duplicate keys are rejected by the strict parser.
     const json::Value dup = parseResponse(
         c.roundTrip(R"({"id":"x","id":"y","type":"ping"})"));
@@ -391,6 +404,45 @@ TEST(Serve, GracefulStopDrainsInFlightWork)
     EXPECT_EQ(field(r, "id"), "g");
     stopper.join();
     EXPECT_EQ(server.stats().served, 1u);
+}
+
+TEST(Serve, ConcurrentStopCallersAreSerialized)
+{
+    serve::Server server(testOptions());
+    server.start();
+    TestClient c(server.port());
+    EXPECT_TRUE(isOk(
+        parseResponse(c.roundTrip(R"({"id":"a","type":"ping"})"))));
+
+    // Both callers race the same teardown; one must win and the other
+    // block until it completes (double-join would be UB — TSan-pinned).
+    std::thread t1([&] { server.stop(); });
+    std::thread t2([&] { server.stop(); });
+    t1.join();
+    t2.join();
+    server.stop(); // and it stays idempotent afterwards
+}
+
+TEST(Serve, VanishedClientDoesNotKillTheServer)
+{
+    serve::Server server(testOptions());
+    server.start();
+    {
+        // Pipeline two requests, then disappear before the responses
+        // are written: the sends must fail with EPIPE, not raise a
+        // process-killing SIGPIPE (nothing here installed SIG_IGN).
+        TestClient c(server.port());
+        c.send(kStudyReq);
+        c.send(kStudyReq);
+    } // fd closed here
+    while (server.stats().served < 2)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // The server is alive and still answering.
+    TestClient c2(server.port());
+    EXPECT_TRUE(isOk(
+        parseResponse(c2.roundTrip(R"({"id":"b","type":"ping"})"))));
+    server.stop();
 }
 
 TEST(Serve, ShutdownRequestStopsTheServer)
